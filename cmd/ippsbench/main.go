@@ -1,0 +1,101 @@
+// Command ippsbench regenerates the tables of Cai & Sosonkina,
+// "A Numerical Study of Some Parallel Algebraic Preconditioners"
+// (IPPS 2003). Each experiment id corresponds to one table of the paper's
+// §5; see DESIGN.md for the index.
+//
+// Usage:
+//
+//	ippsbench -list
+//	ippsbench -exp tc1-cluster
+//	ippsbench -exp tc1-cluster -size 257 -procs 2,4,8,16,32
+//	ippsbench -all -size 65
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"parapre/internal/bench"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		exp   = flag.String("exp", "", "experiment id to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		size  = flag.Int("size", 0, "override the grid resolution parameter (0 = experiment default)")
+		procs = flag.String("procs", "", "override the processor counts, comma separated (e.g. 2,4,8)")
+		md    = flag.Bool("markdown", false, "emit GitHub-flavored Markdown tables")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("id            table")
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-13s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var toRun []bench.Experiment
+	switch {
+	case *all:
+		toRun = bench.Experiments()
+	case *exp != "":
+		e, err := bench.ByID(*exp)
+		if err != nil {
+			fatal(err)
+		}
+		toRun = []bench.Experiment{e}
+	default:
+		fmt.Fprintln(os.Stderr, "ippsbench: specify -exp <id>, -all, or -list")
+		os.Exit(2)
+	}
+
+	if *procs != "" {
+		ps, err := parseProcs(*procs)
+		if err != nil {
+			fatal(err)
+		}
+		for i := range toRun {
+			toRun[i].Ps = ps
+		}
+	}
+
+	for _, e := range toRun {
+		start := time.Now()
+		tables, err := e.Run(*size)
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range tables {
+			if *md {
+				t.WriteMarkdown(os.Stdout)
+			} else {
+				t.Write(os.Stdout)
+			}
+		}
+		fmt.Printf("[%s completed in %.1fs real time]\n\n", e.ID, time.Since(start).Seconds())
+	}
+}
+
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("ippsbench: bad processor count %q", tok)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ippsbench:", err)
+	os.Exit(1)
+}

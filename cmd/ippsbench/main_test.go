@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestParseProcs(t *testing.T) {
+	got, err := parseProcs("2, 4,8")
+	if err != nil || len(got) != 3 || got[0] != 2 || got[2] != 8 {
+		t.Fatalf("parseProcs: %v %v", got, err)
+	}
+	for _, bad := range []string{"", "x", "0", "-3", "2,,4"} {
+		if _, err := parseProcs(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

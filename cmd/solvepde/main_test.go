@@ -1,0 +1,15 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMathLog10Guard(t *testing.T) {
+	if mathLog10(0) != -18 || mathLog10(-1) != -18 {
+		t.Fatal("non-positive inputs must clamp")
+	}
+	if got := mathLog10(100); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("log10(100) = %v", got)
+	}
+}

@@ -1,0 +1,95 @@
+// Distributed-assembly example: the paper's §1.1 points out that "there
+// is no need to first build up the global linear system … a better
+// approach is to decompose Ω first and [let] each processor carry out
+// discretization on its own subdomain". This example runs that workflow:
+// each rank assembles only its own matrix rows (visiting only the
+// elements that touch its nodes), the global matrix never exists, and the
+// resulting distributed system solves to the same answer as the
+// conventional global-assembly path.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"parapre/internal/dist"
+	"parapre/internal/dsys"
+	"parapre/internal/fem"
+	"parapre/internal/grid"
+	"parapre/internal/krylov"
+	"parapre/internal/partition"
+	"parapre/internal/precond"
+	"parapre/internal/sparse"
+)
+
+func main() {
+	const m, p = 49, 8
+	g := grid.UnitSquareTri(m)
+	pde := fem.ScalarPDE{
+		Diffusion: 1,
+		Source:    func(x []float64) float64 { return -x[0] * math.Exp(x[1]) },
+	}
+	onB := g.BoundaryNodes()
+	bc := map[int]float64{}
+	for n := 0; n < g.NumNodes(); n++ {
+		if onB[n] {
+			c := g.Coord(n)
+			bc[n] = c[0] * math.Exp(c[1])
+		}
+	}
+
+	// 1. Decompose Ω first.
+	ptr, adj := g.NodeGraph()
+	part := partition.General(&partition.Graph{Ptr: ptr, Adj: adj}, p, 1)
+
+	// 2. Each processor discretizes its own subdomain: only its rows.
+	slabs := make([]*sparse.CSR, p)
+	rhs := make([][]float64, p)
+	totalRowNNZ := 0
+	for r := 0; r < p; r++ {
+		owned := func(node int) bool { return part[node] == r }
+		slabs[r], rhs[r] = fem.AssembleScalarRows(g, pde, owned)
+		fem.ApplyDirichletRows(slabs[r], rhs[r], bc, owned)
+		totalRowNNZ += slabs[r].NNZ()
+	}
+	fmt.Printf("distributed discretization: %d ranks assembled %d nonzeros total; no global matrix was formed\n",
+		p, totalRowNNZ)
+
+	// 3. Wire the distributed system from the row slabs.
+	systems, err := dsys.DistributeRows(slabs, rhs, part)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Solve with Schur 1 as usual.
+	xl := make([][]float64, p)
+	var iters int
+	stats := dist.Run(p, dist.LinuxCluster(), func(c *dist.Comm) {
+		s := systems[c.Rank()]
+		pc, err := precond.NewSchur1(s, precond.DefaultSchur1())
+		if err != nil {
+			log.Fatal(err)
+		}
+		x := make([]float64, s.NLoc())
+		res := krylov.Distributed(c, s,
+			func(z, r []float64) { pc.Apply(c, z, r) },
+			s.B, x, krylov.Options{Restart: 20, MaxIters: 500, Tol: 1e-6, Flexible: true})
+		if c.Rank() == 0 {
+			iters = res.Iterations
+		}
+		xl[c.Rank()] = x
+	})
+
+	// 5. Check against the manufactured solution u = x·e^y.
+	x := dsys.Gather(systems, xl)
+	var maxErr float64
+	for n := 0; n < g.NumNodes(); n++ {
+		c := g.Coord(n)
+		if e := math.Abs(x[n] - c[0]*math.Exp(c[1])); e > maxErr {
+			maxErr = e
+		}
+	}
+	fmt.Printf("FGMRES(20)+Schur 1: %d iterations, modeled time %.4fs\n", iters, dist.MaxClock(stats))
+	fmt.Printf("max error vs exact solution: %.3e\n", maxErr)
+}

@@ -1,0 +1,3 @@
+module parapre
+
+go 1.22

@@ -1,0 +1,336 @@
+package arms
+
+import (
+	"fmt"
+	"math"
+
+	"parapre/internal/ilu"
+	"parapre/internal/sparse"
+)
+
+// Options configures the multilevel construction.
+type Options struct {
+	Levels   int     // reduction levels; the paper's Schur 2 uses 2
+	MaxGroup int     // group-size cap for the independent sets
+	DropTol  float64 // relative drop tolerance for Schur-complement assembly
+	ILUT     ilu.ILUTOptions
+}
+
+// DefaultOptions matches the two-level ARMS the paper uses.
+func DefaultOptions() Options {
+	return Options{Levels: 2, MaxGroup: 24, DropTol: 1e-4, ILUT: ilu.DefaultILUT()}
+}
+
+// Reduction is one independent-set reduction step: the permuted matrix
+// splits as [B F; E C] with exactly block-diagonal B (by
+// group-independent-set construction); BlockLU holds the dense
+// factorization of each B block and S the (dropped) Schur complement
+// C − E·B⁻¹·F that the next level acts on.
+type Reduction struct {
+	Perm    sparse.Perm // new→old within this level's matrix
+	NB      int         // size of the grouped (B) part
+	Blocks  [][2]int    // contiguous extent of each group in the new order
+	BlockLU []*sparse.LU
+	F, E    *sparse.CSR // coupling blocks of the permuted matrix
+	S       *sparse.CSR // reduced (Schur) matrix
+}
+
+// SolveB applies the exact block-diagonal solve out = B⁻¹·in.
+func (r *Reduction) SolveB(out, in []float64) {
+	for g, ext := range r.Blocks {
+		lo, hi := ext[0], ext[1]
+		sol := r.BlockLU[g].Solve(in[lo:hi])
+		copy(out[lo:hi], sol)
+	}
+}
+
+// SolveBFlops returns the flop count of one SolveB.
+func (r *Reduction) SolveBFlops() float64 {
+	var f float64
+	for _, ext := range r.Blocks {
+		sz := float64(ext[1] - ext[0])
+		f += 2 * sz * sz
+	}
+	return f
+}
+
+// Reduce performs a single independent-set reduction of a: it finds a
+// group-independent set (groups capped at maxGroup), permutes the grouped
+// unknowns first, factors the resulting block-diagonal B exactly, and
+// assembles S = C − E·B⁻¹·F with relative drop tolerance dropTol. It
+// returns nil (no error) with a nil Reduction when no reduction is
+// possible. This is the building block both of the multilevel Solver and
+// of the paper's expanded-Schur preconditioner (Schur 2).
+func Reduce(a *sparse.CSR, maxGroup int, dropTol float64) (*Reduction, error) {
+	group, ng := GroupIndependentSet(a, maxGroup)
+	perm, nB, blocks := IndSetPerm(group, ng)
+	if nB == 0 || nB == a.Rows {
+		return nil, nil
+	}
+	p := sparse.PermuteSym(a, perm)
+	red := &Reduction{Perm: perm, NB: nB, Blocks: blocks}
+
+	bIdx := rangeInts(0, nB)
+	cIdx := rangeInts(nB, p.Rows)
+	B := sparse.Extract(p, bIdx, bIdx)
+	red.F = sparse.Extract(p, bIdx, cIdx)
+	red.E = sparse.Extract(p, cIdx, bIdx)
+	C := sparse.Extract(p, cIdx, cIdx)
+
+	red.BlockLU = make([]*sparse.LU, len(blocks))
+	for g, ext := range blocks {
+		d := blockDense(B, ext[0], ext[1])
+		lu, err := d.Factor()
+		if err != nil {
+			return nil, fmt.Errorf("arms: group %d: %w", g, err)
+		}
+		red.BlockLU[g] = lu
+	}
+	red.S = AssembleSchur(C, red.E, red.F, red, dropTol)
+	return red, nil
+}
+
+// Solver is a multilevel ARMS preconditioner for a sequential (subdomain-
+// local) matrix.
+type Solver struct {
+	n      int
+	levels []*Reduction
+	last   *ilu.LU // ILUT factorization of the final reduced matrix
+	// per-level permutation scratch
+	buf [][]float64
+}
+
+// N returns the dimension of the preconditioned matrix.
+func (s *Solver) N() int { return s.n }
+
+// SolveFlops estimates the flop count of one Apply, for virtual-time
+// accounting.
+func (s *Solver) SolveFlops() float64 {
+	var f float64
+	for _, l := range s.levels {
+		f += 2*l.SolveBFlops() + 2*float64(l.E.NNZ()) + 2*float64(l.F.NNZ())
+	}
+	f += s.last.SolveFlops()
+	return f
+}
+
+// New builds the ARMS hierarchy for matrix a.
+func New(a *sparse.CSR, opt Options) (*Solver, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("arms: non-square %d×%d matrix", a.Rows, a.Cols)
+	}
+	if opt.Levels < 1 {
+		opt.Levels = 1
+	}
+	if opt.MaxGroup < 1 {
+		opt.MaxGroup = DefaultOptions().MaxGroup
+	}
+	s := &Solver{n: a.Rows}
+	cur := a
+	for lev := 0; lev < opt.Levels; lev++ {
+		red, err := Reduce(cur, opt.MaxGroup, opt.DropTol)
+		if err != nil {
+			return nil, fmt.Errorf("arms: level %d: %w", lev, err)
+		}
+		if red == nil {
+			// No reduction possible (fully separated or fully grouped):
+			// stop stacking levels.
+			break
+		}
+		s.levels = append(s.levels, red)
+		cur = red.S
+	}
+	lastLU, err := ilu.ILUT(cur, opt.ILUT)
+	if err != nil {
+		return nil, fmt.Errorf("arms: final level: %w", err)
+	}
+	s.last = lastLU
+
+	// Scratch: one buffer per level, sized to the level's dimension, plus
+	// one for the last level.
+	dim := s.n
+	for i := range s.levels {
+		s.buf = append(s.buf, make([]float64, dim))
+		dim -= s.levels[i].NB
+	}
+	s.buf = append(s.buf, make([]float64, dim))
+	return s, nil
+}
+
+func rangeInts(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+// blockDense copies the diagonal block B[lo:hi, lo:hi] into dense storage.
+func blockDense(b *sparse.CSR, lo, hi int) *sparse.Dense {
+	d := sparse.NewDense(hi-lo, hi-lo)
+	for i := lo; i < hi; i++ {
+		cols, vals := b.Row(i)
+		for k, j := range cols {
+			if j >= lo && j < hi {
+				d.Set(i-lo, j-lo, vals[k])
+			}
+		}
+	}
+	return d
+}
+
+// AssembleSchur computes S = C − E·B⁻¹·F with per-row relative dropping,
+// using the reduction's exact block-diagonal solves for B⁻¹. Exposed for
+// the expanded-Schur (Schur 2) preconditioner, which runs the reduction on
+// the internal unknowns only.
+func AssembleSchur(c, e, f *sparse.CSR, l *Reduction, dropTol float64) *sparse.CSR {
+	nc := c.Rows
+	coo := sparse.NewCOO(nc, nc, c.NNZ()*2)
+	for i := 0; i < nc; i++ {
+		cols, vals := c.Row(i)
+		for k, j := range cols {
+			coo.Add(i, j, vals[k])
+		}
+	}
+	// For each group g: W = B_g⁻¹ F_g (dense |g|×support), then subtract
+	// E[:,g]·W.
+	ft := f // F rows are the group rows already
+	for g, ext := range l.Blocks {
+		lo, hi := ext[0], ext[1]
+		sz := hi - lo
+		// Column support of F_g.
+		support := map[int]int{}
+		var supCols []int
+		for r := lo; r < hi; r++ {
+			cols, _ := ft.Row(r)
+			for _, j := range cols {
+				if _, ok := support[j]; !ok {
+					support[j] = len(supCols)
+					supCols = append(supCols, j)
+				}
+			}
+		}
+		if len(supCols) == 0 {
+			continue
+		}
+		// Dense W: sz × |support|, column by column via LU solves.
+		rhs := make([]float64, sz)
+		w := make([]float64, sz*len(supCols))
+		for sc, j := range supCols {
+			for i := range rhs {
+				rhs[i] = 0
+			}
+			for r := lo; r < hi; r++ {
+				cols, vals := ft.Row(r)
+				for k, jj := range cols {
+					if jj == j {
+						rhs[r-lo] = vals[k]
+					}
+				}
+			}
+			sol := l.BlockLU[g].Solve(rhs)
+			for i := 0; i < sz; i++ {
+				w[i*len(supCols)+sc] = sol[i]
+			}
+		}
+		// Subtract E[:, lo:hi]·W from S: iterate rows of E that touch the
+		// group's columns.
+		for i := 0; i < nc; i++ {
+			cols, vals := e.Row(i)
+			for k, j := range cols {
+				if j < lo || j >= hi {
+					continue
+				}
+				eij := vals[k]
+				row := w[(j-lo)*len(supCols) : (j-lo+1)*len(supCols)]
+				for sc, jj := range supCols {
+					if v := eij * row[sc]; v != 0 {
+						coo.Add(i, jj, -v)
+					}
+				}
+			}
+		}
+	}
+	s := coo.ToCSR()
+	return dropSmall(s, dropTol)
+}
+
+// dropSmall removes entries below tol·(mean row magnitude), keeping
+// diagonals.
+func dropSmall(a *sparse.CSR, tol float64) *sparse.CSR {
+	if tol <= 0 {
+		return a
+	}
+	out := sparse.NewCSR(a.Rows, a.Cols, a.NNZ())
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.Row(i)
+		var norm float64
+		for _, v := range vals {
+			norm += math.Abs(v)
+		}
+		if len(vals) > 0 {
+			norm /= float64(len(vals))
+		}
+		thresh := tol * norm
+		for k, j := range cols {
+			if j == i || math.Abs(vals[k]) > thresh {
+				out.ColIdx = append(out.ColIdx, j)
+				out.Val = append(out.Val, vals[k])
+			}
+		}
+		out.RowPtr[i+1] = len(out.ColIdx)
+	}
+	return out
+}
+
+// Apply computes z = M⁻¹·r through the multilevel hierarchy:
+// per level, u_B = B⁻¹r_B; r_C' = r_C − E·u_B; recurse on r_C'; then
+// u_B −= B⁻¹·F·z_C. z and r must have length N(); they may alias.
+func (s *Solver) Apply(z, r []float64) {
+	s.applyLevel(0, z, r)
+}
+
+func (s *Solver) applyLevel(lev int, z, r []float64) {
+	if lev == len(s.levels) {
+		s.last.Solve(z, r)
+		return
+	}
+	l := s.levels[lev]
+	n := len(l.Perm)
+	work := s.buf[lev]
+	// Permute r into work.
+	for i, old := range l.Perm {
+		work[i] = r[old]
+	}
+	rB := work[:l.NB]
+	rC := work[l.NB:n]
+
+	// u_B = B⁻¹ r_B (exact block solves).
+	uB := make([]float64, l.NB)
+	l.SolveB(uB, rB)
+
+	// r_C' = r_C − E·u_B.
+	l.E.MulVecSub(rC, uB)
+
+	// Recurse.
+	zC := make([]float64, n-l.NB)
+	s.applyLevel(lev+1, zC, rC)
+
+	// u_B -= B⁻¹·F·z_C.
+	fz := make([]float64, l.NB)
+	l.F.MulVecTo(fz, zC)
+	corr := make([]float64, l.NB)
+	l.SolveB(corr, fz)
+	for i := range uB {
+		uB[i] -= corr[i]
+	}
+
+	// Un-permute into z.
+	for i, old := range l.Perm {
+		if i < l.NB {
+			z[old] = uB[i]
+		} else {
+			z[old] = zC[i-l.NB]
+		}
+	}
+}

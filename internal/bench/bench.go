@@ -1,0 +1,291 @@
+// Package bench defines the paper's experiments (§5): for every table in
+// the evaluation there is one Experiment whose Run method regenerates the
+// corresponding rows — iteration counts and modeled wall-clock times per
+// processor count and preconditioner. Sizes default to laptop-scale; the
+// Scale knob (or the -size flag of cmd/ippsbench) moves them toward the
+// paper's ~10⁶-unknown originals.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"parapre/internal/cases"
+	"parapre/internal/core"
+	"parapre/internal/dist"
+	"parapre/internal/precond"
+)
+
+// Cell is one (preconditioner, P) measurement.
+type Cell struct {
+	Iters     int
+	Time      float64 // modeled seconds (setup + solve)
+	Converged bool
+}
+
+// Row is one line of a paper table: a processor count with one Cell per
+// column.
+type Row struct {
+	P     int
+	Cells []Cell
+}
+
+// Table is one regenerated paper table.
+type Table struct {
+	Title   string
+	Columns []string // preconditioner names
+	Rows    []Row
+	N       int // global unknowns
+}
+
+// Experiment describes one of the paper's tables.
+type Experiment struct {
+	ID       string
+	Title    string
+	CaseName string
+	Size     int // default (scaled-down) resolution
+	Machine  func() *dist.Machine
+	Ps       []int
+	Preconds []precond.Kind
+	Scheme   core.PartitionScheme
+
+	// Schwarz experiments replace the algebraic preconditioners.
+	Schwarz     bool
+	SchwarzCGC  []bool // one column per entry
+	SchwarzGrid func(p int) (px, py int)
+}
+
+// Experiments returns the full set, one per table in the paper (§5), in
+// the paper's order. The IDs match DESIGN.md's experiment index.
+func Experiments() []Experiment {
+	boxes := func(p int) (int, int) {
+		px := 1
+		for px*px < p {
+			px *= 2
+		}
+		return px, p / px
+	}
+	return []Experiment{
+		{ID: "tc1-cluster", Title: "Test Case 1 (Poisson 2D), Linux cluster",
+			CaseName: "tc1-poisson2d", Size: 129, Machine: dist.LinuxCluster,
+			Ps:       []int{2, 4, 8, 16},
+			Preconds: allFour()},
+		{ID: "tc1-origin", Title: "Test Case 1 (Poisson 2D), Origin 3800",
+			CaseName: "tc1-poisson2d", Size: 129, Machine: dist.Origin3800,
+			Ps:       []int{8, 16, 32},
+			Preconds: []precond.Kind{precond.KindSchur1, precond.KindBlock2}},
+		{ID: "tc2-cluster", Title: "Test Case 2 (Poisson 3D), Linux cluster",
+			CaseName: "tc2-poisson3d", Size: 21, Machine: dist.LinuxCluster,
+			Ps:       []int{2, 4, 8, 16},
+			Preconds: allFour()},
+		{ID: "tc2-origin", Title: "Test Case 2 (Poisson 3D), Origin 3800",
+			CaseName: "tc2-poisson3d", Size: 21, Machine: dist.Origin3800,
+			Ps:       []int{8, 16, 32},
+			Preconds: []precond.Kind{precond.KindSchur2, precond.KindBlock2}},
+		{ID: "tc3-cluster", Title: "Test Case 3 (Poisson, unstructured), Linux cluster",
+			CaseName: "tc3-unstructured", Size: 129, Machine: dist.LinuxCluster,
+			Ps:       []int{2, 4, 8, 16},
+			Preconds: allFour()},
+		{ID: "tc4-cluster", Title: "Test Case 4 (heat 3D), Linux cluster",
+			CaseName: "tc4-heat3d", Size: 21, Machine: dist.LinuxCluster,
+			Ps:       []int{2, 4, 8, 16},
+			Preconds: allFour()},
+		{ID: "tc5-cluster", Title: "Test Case 5 (convection-diffusion), Linux cluster",
+			CaseName: "tc5-convdiff", Size: 129, Machine: dist.LinuxCluster,
+			Ps:       []int{2, 4, 8, 16},
+			Preconds: allFour()},
+		{ID: "tc5-origin", Title: "Test Case 5 (convection-diffusion), Origin 3800",
+			CaseName: "tc5-convdiff", Size: 129, Machine: dist.Origin3800,
+			Ps:       []int{8, 16, 32},
+			Preconds: []precond.Kind{precond.KindSchur1, precond.KindSchur2}},
+		{ID: "tc6-cluster", Title: "Test Case 6 (linear elasticity), Linux cluster",
+			CaseName: "tc6-elasticity", Size: 49, Machine: dist.LinuxCluster,
+			Ps:       []int{2, 4, 8, 16},
+			Preconds: []precond.Kind{precond.KindSchur1, precond.KindSchur2, precond.KindBlock1, precond.KindBlock2}},
+		{ID: "shape", Title: "§5.1 Effect of subdomain shape (Test Case 2, P=16): general vs simple partitioning",
+			CaseName: "tc2-poisson3d", Size: 21, Machine: dist.LinuxCluster,
+			Ps:       []int{16},
+			Preconds: allFour()},
+		{ID: "jump", Title: "EXTENSION: 1000:1 discontinuous-coefficient Poisson (not in the paper)",
+			CaseName: "tc7-jump", Size: 65, Machine: dist.LinuxCluster,
+			Ps:       []int{2, 4, 8, 16},
+			Preconds: allFour()},
+		{ID: "schwarz", Title: "§5.2 Additive Schwarz on Test Case 1 (with and without coarse-grid corrections)",
+			CaseName: "tc1-poisson2d", Size: 129, Machine: dist.LinuxCluster,
+			Ps:          []int{4, 16},
+			Schwarz:     true,
+			SchwarzCGC:  []bool{false, true},
+			SchwarzGrid: boxes},
+	}
+}
+
+func allFour() []precond.Kind {
+	return []precond.Kind{precond.KindSchur1, precond.KindSchur2, precond.KindBlock1, precond.KindBlock2}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q", id)
+}
+
+// Run executes the experiment at the given size (0 ⇒ the experiment's
+// default) and returns the regenerated table(s). The "shape" experiment
+// returns two tables (general and simple partitioning).
+func (e Experiment) Run(size int) ([]Table, error) {
+	if size == 0 {
+		size = e.Size
+	}
+	c, err := cases.ByName(e.CaseName)
+	if err != nil {
+		return nil, err
+	}
+	prob := c.Build(size)
+
+	if e.Schwarz {
+		t, err := e.runSchwarz(prob, size)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{t}, nil
+	}
+	if e.ID == "shape" {
+		var out []Table
+		for _, scheme := range []core.PartitionScheme{core.PartitionGeneral, core.PartitionSimple} {
+			name := "general grid partitioning"
+			if scheme == core.PartitionSimple {
+				name = "simple grid partitioning"
+			}
+			t, err := e.runAlgebraic(prob, scheme)
+			if err != nil {
+				return nil, err
+			}
+			t.Title = e.Title + " — " + name
+			out = append(out, t)
+		}
+		return out, nil
+	}
+	t, err := e.runAlgebraic(prob, e.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	return []Table{t}, nil
+}
+
+func (e Experiment) runAlgebraic(prob *core.Problem, scheme core.PartitionScheme) (Table, error) {
+	t := Table{Title: e.Title, N: prob.A.Rows}
+	for _, k := range e.Preconds {
+		t.Columns = append(t.Columns, string(k))
+	}
+	for _, p := range e.Ps {
+		row := Row{P: p}
+		for _, k := range e.Preconds {
+			cfg := core.DefaultConfig(p, k)
+			cfg.Machine = e.Machine()
+			cfg.Scheme = scheme
+			res, err := core.Solve(prob, cfg)
+			if err != nil {
+				return t, fmt.Errorf("%s/%s P=%d: %w", e.ID, k, p, err)
+			}
+			row.Cells = append(row.Cells, Cell{
+				Iters:     res.Iterations,
+				Time:      res.SetupTime + res.SolveTime,
+				Converged: res.Converged,
+			})
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func (e Experiment) runSchwarz(prob *core.Problem, size int) (Table, error) {
+	t := Table{Title: e.Title, N: prob.A.Rows}
+	for _, cgc := range e.SchwarzCGC {
+		if cgc {
+			t.Columns = append(t.Columns, "AddSchwarz+CGC")
+		} else {
+			t.Columns = append(t.Columns, "AddSchwarz")
+		}
+	}
+	for _, p := range e.Ps {
+		px, py := e.SchwarzGrid(p)
+		row := Row{P: p}
+		for _, cgc := range e.SchwarzCGC {
+			cfg := core.DefaultConfig(p, precond.KindNone)
+			cfg.Machine = e.Machine()
+			sw := precond.DefaultSchwarz(size, px, py, cgc)
+			cfg.Schwarz = &sw
+			res, err := core.Solve(prob, cfg)
+			if err != nil {
+				return t, fmt.Errorf("%s cgc=%v P=%d: %w", e.ID, cgc, p, err)
+			}
+			row.Cells = append(row.Cells, Cell{
+				Iters:     res.Iterations,
+				Time:      res.SetupTime + res.SolveTime,
+				Converged: res.Converged,
+			})
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// WriteMarkdown renders the table as a GitHub-flavored Markdown table
+// with "#itr / time" cells, for pasting into EXPERIMENTS.md.
+func (t Table) WriteMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "**%s** (N = %d)\n\n", t.Title, t.N)
+	fmt.Fprint(w, "| P |")
+	for _, c := range t.Columns {
+		fmt.Fprintf(w, " %s |", c)
+	}
+	fmt.Fprint(w, "\n|---|")
+	for range t.Columns {
+		fmt.Fprint(w, "---|")
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "| %d |", r.P)
+		for _, c := range r.Cells {
+			if c.Converged {
+				fmt.Fprintf(w, " %d / %.4fs |", c.Iters, c.Time)
+			} else {
+				fmt.Fprint(w, " n.c. |")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// Write renders the table in the paper's layout.
+func (t Table) Write(w io.Writer) {
+	fmt.Fprintf(w, "%s  (N = %d unknowns)\n", t.Title, t.N)
+	fmt.Fprintf(w, "%-5s", "P")
+	for _, c := range t.Columns {
+		fmt.Fprintf(w, " | %-16s", c)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-5s", "")
+	for range t.Columns {
+		fmt.Fprintf(w, " | %6s %9s", "#itr", "time(s)")
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 6+len(t.Columns)*19))
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-5d", r.P)
+		for _, c := range r.Cells {
+			if c.Converged {
+				fmt.Fprintf(w, " | %6d %9.4f", c.Iters, c.Time)
+			} else {
+				fmt.Fprintf(w, " | %6s %9s", "n.c.", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}

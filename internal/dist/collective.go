@@ -1,0 +1,143 @@
+package dist
+
+import "sync"
+
+// reducer is a reusable combining barrier. All ranks must call the same
+// collectives in the same order (the usual MPI contract). Each rank's
+// contribution is parked in its own slot and the final arrival combines
+// them in rank order, so floating-point results are bit-for-bit
+// deterministic regardless of goroutine scheduling. Results are
+// double-buffered by generation parity: a rank cannot be two collectives
+// ahead of another, so parity slots never collide.
+type reducer struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	p    int
+
+	count  int
+	gen    int // generation currently accumulating
+	done   int // number of fully completed generations
+	inputs [][]float64
+	clocks []float64
+
+	result   [2][]float64
+	maxTimes [2]float64
+}
+
+func newReducer(p int) *reducer {
+	r := &reducer{p: p, inputs: make([][]float64, p), clocks: make([]float64, p)}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// reduce runs one collective wave: rank's contribution in is combined with
+// everyone else's using op (applied in rank order), and the combined
+// vector plus the maximum deposited clock are returned to all ranks. op
+// must be equivalent across ranks.
+func (r *reducer) reduce(rank int, in []float64, clock float64, op func(acc, in []float64)) ([]float64, float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	myGen := r.gen
+	r.inputs[rank] = append(r.inputs[rank][:0], in...)
+	r.clocks[rank] = clock
+	r.count++
+	if r.count == r.p {
+		slot := myGen & 1
+		acc := append(r.result[slot][:0], r.inputs[0]...)
+		maxClock := r.clocks[0]
+		for q := 1; q < r.p; q++ {
+			op(acc, r.inputs[q])
+			if r.clocks[q] > maxClock {
+				maxClock = r.clocks[q]
+			}
+		}
+		r.result[slot] = acc
+		r.maxTimes[slot] = maxClock
+		r.count = 0
+		r.gen++
+		r.done++
+		r.cond.Broadcast()
+	} else {
+		for r.done <= myGen {
+			r.cond.Wait()
+		}
+	}
+	slot := myGen & 1
+	out := append([]float64(nil), r.result[slot]...)
+	return out, r.maxTimes[slot]
+}
+
+// AllReduceSum sums x across all ranks; every rank receives the total.
+func (c *Comm) AllReduceSum(x float64) float64 {
+	return c.AllReduceSumVec([]float64{x})[0]
+}
+
+// AllReduceSumVec element-wise sums the vector across ranks. All ranks
+// must pass equal-length vectors. The summation order is rank order, so
+// results are deterministic.
+func (c *Comm) AllReduceSumVec(x []float64) []float64 {
+	out, maxT := c.w.red.reduce(c.rank, x, c.clock, func(acc, in []float64) {
+		for i := range acc {
+			acc[i] += in[i]
+		}
+	})
+	c.syncClock(maxT, 8*len(x))
+	return out
+}
+
+// AllReduceMax returns the maximum of x across ranks.
+func (c *Comm) AllReduceMax(x float64) float64 {
+	out, maxT := c.w.red.reduce(c.rank, []float64{x}, c.clock, func(acc, in []float64) {
+		if in[0] > acc[0] {
+			acc[0] = in[0]
+		}
+	})
+	c.syncClock(maxT, 8)
+	return out[0]
+}
+
+// AllReduceMin returns the minimum of x across ranks.
+func (c *Comm) AllReduceMin(x float64) float64 {
+	out, maxT := c.w.red.reduce(c.rank, []float64{x}, c.clock, func(acc, in []float64) {
+		if in[0] < acc[0] {
+			acc[0] = in[0]
+		}
+	})
+	c.syncClock(maxT, 8)
+	return out[0]
+}
+
+// Barrier synchronizes all ranks (and their virtual clocks).
+func (c *Comm) Barrier() {
+	_, maxT := c.w.red.reduce(c.rank, nil, c.clock, func(acc, in []float64) {})
+	c.syncClock(maxT, 0)
+}
+
+// AllGather concatenates each rank's contribution in rank order; every
+// rank receives the full concatenation. Contributions may have different
+// lengths but every rank must know all of them (counts[r] = length of
+// rank r's piece).
+func (c *Comm) AllGather(x []float64, counts []int) []float64 {
+	total := 0
+	offs := make([]int, c.w.P)
+	for r, n := range counts {
+		offs[r] = total
+		total += n
+	}
+	buf := make([]float64, total)
+	copy(buf[offs[c.rank]:], x)
+	out, maxT := c.w.red.reduce(c.rank, buf, c.clock, func(acc, in []float64) {
+		for i := range acc {
+			acc[i] += in[i]
+		}
+	})
+	c.syncClock(maxT, 8*total)
+	return out
+}
+
+func (c *Comm) syncClock(maxT float64, bytes int) {
+	if maxT > c.clock {
+		c.clock = maxT
+	}
+	c.clock += c.w.Machine.collectiveTime(c.w.P, bytes)
+}

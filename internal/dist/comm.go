@@ -1,0 +1,156 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one point-to-point payload with the sender's virtual
+// timestamp.
+type message struct {
+	tag  int
+	data []float64
+	time float64
+}
+
+// World couples P rank goroutines to one machine model. Create it with
+// NewWorld and hand each rank its Comm, or use Run to drive everything.
+type World struct {
+	P       int
+	Machine *Machine
+	chans   []chan message // chans[from*P+to]
+	red     *reducer
+}
+
+// NewWorld creates a communicator world of p ranks on machine m.
+func NewWorld(p int, m *Machine) *World {
+	if p < 1 {
+		panic(fmt.Sprintf("dist: world size %d", p))
+	}
+	w := &World{P: p, Machine: m, chans: make([]chan message, p*p)}
+	for i := range w.chans {
+		w.chans[i] = make(chan message, 8)
+	}
+	w.red = newReducer(p)
+	return w
+}
+
+// Comm is rank r's handle to the world. It is not safe for concurrent use
+// by multiple goroutines (exactly like an MPI rank).
+type Comm struct {
+	w    *World
+	rank int
+
+	clock       float64 // virtual seconds since Run started
+	computeTime float64 // portion of clock spent in Compute
+	flops       float64
+	msgsSent    int
+	bytesSent   int
+}
+
+// Comm returns the handle of rank r.
+func (w *World) Comm(r int) *Comm {
+	if r < 0 || r >= w.P {
+		panic(fmt.Sprintf("dist: rank %d of %d", r, w.P))
+	}
+	return &Comm{w: w, rank: r}
+}
+
+// Rank returns this process's rank in [0, P).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size P.
+func (c *Comm) Size() int { return c.w.P }
+
+// MachineName returns the name of the machine profile in use.
+func (c *Comm) MachineName() string { return c.w.Machine.Name }
+
+// Compute charges the virtual clock for flops floating-point operations
+// of local work. Solver kernels call this with their operation counts.
+func (c *Comm) Compute(flops float64) {
+	t := c.w.Machine.computeTime(flops)
+	c.clock += t
+	c.computeTime += t
+	c.flops += flops
+}
+
+// Send transmits data to rank to with the given tag. The data slice is
+// copied, so the caller may reuse its buffer. Send blocks only when the
+// channel buffer is full (8 outstanding messages per ordered pair).
+func (c *Comm) Send(to, tag int, data []float64) {
+	buf := append([]float64(nil), data...)
+	c.msgsSent++
+	c.bytesSent += 8 * len(buf)
+	c.w.chans[c.rank*c.w.P+to] <- message{tag: tag, data: buf, time: c.clock}
+}
+
+// Recv receives the next message from rank from, which must carry the
+// expected tag (a mismatch is a protocol bug and panics). The receiver's
+// clock advances to max(own, sender) + α + β·bytes.
+func (c *Comm) Recv(from, tag int) []float64 {
+	m := <-c.w.chans[from*c.w.P+c.rank]
+	if m.tag != tag {
+		panic(fmt.Sprintf("dist: rank %d expected tag %d from %d, got %d", c.rank, tag, from, m.tag))
+	}
+	if m.time > c.clock {
+		c.clock = m.time
+	}
+	c.clock += c.w.Machine.messageTime(8 * len(m.data))
+	return m.data
+}
+
+// Stats reports this rank's accounting so far.
+type Stats struct {
+	Rank        int
+	Clock       float64 // total virtual seconds
+	ComputeTime float64 // virtual seconds of local work
+	CommTime    float64 // Clock − ComputeTime
+	Flops       float64
+	MsgsSent    int
+	BytesSent   int
+}
+
+// Stats returns a snapshot of this rank's accounting.
+func (c *Comm) Stats() Stats {
+	return Stats{
+		Rank:        c.rank,
+		Clock:       c.clock,
+		ComputeTime: c.computeTime,
+		CommTime:    c.clock - c.computeTime,
+		Flops:       c.flops,
+		MsgsSent:    c.msgsSent,
+		BytesSent:   c.bytesSent,
+	}
+}
+
+// Run spawns fn on p rank goroutines over machine m, waits for all to
+// finish, and returns the per-rank stats. It is the moral equivalent of
+// mpirun.
+func Run(p int, m *Machine, fn func(c *Comm)) []Stats {
+	w := NewWorld(p, m)
+	stats := make([]Stats, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for r := 0; r < p; r++ {
+		c := w.Comm(r)
+		go func() {
+			defer wg.Done()
+			fn(c)
+			stats[c.rank] = c.Stats()
+		}()
+	}
+	wg.Wait()
+	return stats
+}
+
+// MaxClock returns the slowest rank's virtual time — the modeled
+// wall-clock time of the parallel run.
+func MaxClock(stats []Stats) float64 {
+	var m float64
+	for _, s := range stats {
+		if s.Clock > m {
+			m = s.Clock
+		}
+	}
+	return m
+}

@@ -1,0 +1,148 @@
+package dsys
+
+import (
+	"fmt"
+	"sort"
+
+	"parapre/internal/sparse"
+)
+
+// DistributeRows builds the per-rank subdomain systems from row slabs:
+// slab[r] is a CSR matrix in GLOBAL numbering whose only stored rows are
+// the rows owned by rank r (rhs[r][g] likewise holds only owned values,
+// but is passed full-length for addressing convenience). This is the
+// paper's §1.1 distributed-discretization workflow: each processor
+// discretizes its own subdomain and the global system never exists —
+// DistributeRows never forms the union matrix.
+//
+// The resulting systems are identical to Distribute(globalA, …) applied
+// to the union of the slabs (a property the tests assert).
+func DistributeRows(slabs []*sparse.CSR, rhs [][]float64, part []int) ([]*System, error) {
+	p := len(slabs)
+	if p == 0 {
+		return nil, fmt.Errorf("dsys: no slabs")
+	}
+	n := slabs[0].Rows
+	if len(part) != n {
+		return nil, fmt.Errorf("dsys: partition length %d, want %d", len(part), n)
+	}
+	for r, s := range slabs {
+		if s.Rows != n || s.Cols != n {
+			return nil, fmt.Errorf("dsys: slab %d is %d×%d, want %d×%d", r, s.Rows, s.Cols, n, n)
+		}
+		if len(rhs[r]) != n {
+			return nil, fmt.Errorf("dsys: rhs %d length %d, want %d", r, len(rhs[r]), n)
+		}
+	}
+	// Validate ownership: every row must be stored by exactly its owner.
+	for g := 0; g < n; g++ {
+		r := part[g]
+		if r < 0 || r >= p {
+			return nil, fmt.Errorf("dsys: row %d owned by invalid rank %d", g, r)
+		}
+		for q, s := range slabs {
+			has := s.RowNNZ(g) > 0
+			if has && q != r {
+				return nil, fmt.Errorf("dsys: rank %d stores row %d owned by rank %d", q, g, r)
+			}
+		}
+		if slabs[r].RowNNZ(g) == 0 {
+			return nil, fmt.Errorf("dsys: owner %d has empty row %d", r, g)
+		}
+	}
+
+	// Classification needs only each owner's own rows: a node is interface
+	// iff its row references another rank's column (the pattern is
+	// structurally symmetric for FEM systems, so this is symmetric).
+	isIface := make([]bool, n)
+	for g := 0; g < n; g++ {
+		cols, _ := slabs[part[g]].Row(g)
+		for _, j := range cols {
+			if part[j] != part[g] {
+				isIface[g] = true
+				break
+			}
+		}
+	}
+
+	systems := make([]*System, p)
+	g2l := make([]int, n)
+	for r := 0; r < p; r++ {
+		systems[r] = buildLocalFromSlab(slabs[r], rhs[r], part, r, p, isIface, g2l)
+	}
+	wireNeighbors(systems)
+	return systems, nil
+}
+
+// buildLocalFromSlab mirrors buildLocal but reads rows from the rank's
+// slab instead of a global matrix.
+func buildLocalFromSlab(slab *sparse.CSR, b []float64, part []int, r, p int, isIface []bool, g2l []int) *System {
+	n := slab.Rows
+	s := &System{Rank: r, P: p, N: n}
+	for i := 0; i < n; i++ {
+		if part[i] == r && !isIface[i] {
+			s.GlobalIDs = append(s.GlobalIDs, i)
+		}
+	}
+	s.NInt = len(s.GlobalIDs)
+	for i := 0; i < n; i++ {
+		if part[i] == r && isIface[i] {
+			s.GlobalIDs = append(s.GlobalIDs, i)
+		}
+	}
+	nloc := len(s.GlobalIDs)
+	for l, g := range s.GlobalIDs {
+		g2l[g] = l
+	}
+
+	extSeen := map[int]bool{}
+	for _, g := range s.GlobalIDs {
+		cols, _ := slab.Row(g)
+		for _, j := range cols {
+			if part[j] != r && !extSeen[j] {
+				extSeen[j] = true
+				s.ExtGlobal = append(s.ExtGlobal, j)
+			}
+		}
+	}
+	sort.Slice(s.ExtGlobal, func(x, y int) bool {
+		gx, gy := s.ExtGlobal[x], s.ExtGlobal[y]
+		if part[gx] != part[gy] {
+			return part[gx] < part[gy]
+		}
+		return gx < gy
+	})
+	extLocal := map[int]int{}
+	for k, g := range s.ExtGlobal {
+		extLocal[g] = nloc + k
+	}
+	for k := 0; k < len(s.ExtGlobal); {
+		owner := part[s.ExtGlobal[k]]
+		start := k
+		for k < len(s.ExtGlobal) && part[s.ExtGlobal[k]] == owner {
+			k++
+		}
+		s.Neigh = append(s.Neigh, Neighbor{Rank: owner, RecvOff: start, RecvLen: k - start})
+	}
+
+	s.A = sparse.NewCSR(nloc, nloc+len(s.ExtGlobal), 0)
+	s.B = make([]float64, nloc)
+	for l, g := range s.GlobalIDs {
+		s.B[l] = b[g]
+		cols, vals := slab.Row(g)
+		start := len(s.A.ColIdx)
+		for kk, j := range cols {
+			var lj int
+			if part[j] == r {
+				lj = g2l[j]
+			} else {
+				lj = extLocal[j]
+			}
+			s.A.ColIdx = append(s.A.ColIdx, lj)
+			s.A.Val = append(s.A.Val, vals[kk])
+		}
+		s.A.RowPtr[l+1] = len(s.A.ColIdx)
+		sortRowInPlace(s.A.ColIdx[start:], s.A.Val[start:])
+	}
+	return s
+}

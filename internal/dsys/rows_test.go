@@ -1,0 +1,228 @@
+package dsys_test
+
+import (
+	"math"
+	"testing"
+
+	"parapre/internal/dist"
+	"parapre/internal/dsys"
+	"parapre/internal/fem"
+	"parapre/internal/grid"
+	"parapre/internal/krylov"
+	"parapre/internal/partition"
+	"parapre/internal/sparse"
+)
+
+func rowsTestMachine() *dist.Machine {
+	return &dist.Machine{Name: "test", FlopRate: 1e9, Latency: 1e-6, ByteTime: 1e-9, Load: 1}
+}
+
+// buildBoth builds the same problem via the global-assembly path and via
+// the distributed (per-rank row slab) discretization of §1.1.
+func buildBoth(t *testing.T, m, p int, seed int64) (global, slabbed []*dsys.System, a *sparse.CSR) {
+	t.Helper()
+	g := grid.UnitSquareTri(m)
+	pde := fem.ScalarPDE{
+		Diffusion: 1,
+		Velocity:  []float64{40, -10},
+		SUPG:      true,
+		Source:    func(x []float64) float64 { return x[0] - x[1] },
+	}
+	onB := g.BoundaryNodes()
+	bc := map[int]float64{}
+	for n := 0; n < g.NumNodes(); n++ {
+		if onB[n] {
+			bc[n] = math.Sin(float64(n))
+		}
+	}
+	ptr, adj := g.NodeGraph()
+	part := partition.General(&partition.Graph{Ptr: ptr, Adj: adj}, p, seed)
+
+	// Global path.
+	aG, bG := fem.AssembleScalar(g, pde)
+	fem.ApplyDirichlet(aG, bG, bc)
+	global = dsys.Distribute(aG, bG, part, p)
+
+	// Distributed-discretization path: each rank assembles only its rows.
+	slabs := make([]*sparse.CSR, p)
+	rhs := make([][]float64, p)
+	for r := 0; r < p; r++ {
+		r := r
+		owned := func(node int) bool { return part[node] == r }
+		slabs[r], rhs[r] = fem.AssembleScalarRows(g, pde, owned)
+		fem.ApplyDirichletRows(slabs[r], rhs[r], bc, owned)
+	}
+	var err error
+	slabbed, err = dsys.DistributeRows(slabs, rhs, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return global, slabbed, aG
+}
+
+func TestDistributedDiscretizationMatchesGlobal(t *testing.T) {
+	const m, p = 11, 4
+	global, slabbed, _ := buildBoth(t, m, p, 3)
+	for r := 0; r < p; r++ {
+		gs, ss := global[r], slabbed[r]
+		if gs.NInt != ss.NInt || gs.NLoc() != ss.NLoc() || gs.NExt() != ss.NExt() {
+			t.Fatalf("rank %d: shapes differ: (%d,%d,%d) vs (%d,%d,%d)",
+				r, gs.NInt, gs.NLoc(), gs.NExt(), ss.NInt, ss.NLoc(), ss.NExt())
+		}
+		for l := range gs.GlobalIDs {
+			if gs.GlobalIDs[l] != ss.GlobalIDs[l] {
+				t.Fatalf("rank %d: GlobalIDs differ at %d", r, l)
+			}
+		}
+		// Patterns must be identical; values may differ in the last ulp
+		// because the slab assembly sums the diffusion/convection/SUPG
+		// contributions of an element in one Add while the global path
+		// uses three.
+		if gs.A.NNZ() != ss.A.NNZ() {
+			t.Fatalf("rank %d: nnz differ: %d vs %d", r, gs.A.NNZ(), ss.A.NNZ())
+		}
+		for k := range gs.A.ColIdx {
+			if gs.A.ColIdx[k] != ss.A.ColIdx[k] {
+				t.Fatalf("rank %d: pattern differs at %d", r, k)
+			}
+			if d := math.Abs(gs.A.Val[k] - ss.A.Val[k]); d > 1e-11*(1+math.Abs(gs.A.Val[k])) {
+				t.Fatalf("rank %d: value %d differs: %v vs %v", r, k, gs.A.Val[k], ss.A.Val[k])
+			}
+		}
+		for l := range gs.B {
+			if math.Abs(gs.B[l]-ss.B[l]) > 1e-13 {
+				t.Fatalf("rank %d: rhs differs at %d: %v vs %v", r, l, gs.B[l], ss.B[l])
+			}
+		}
+		if err := ss.CheckStructure(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDistributedDiscretizationSolves(t *testing.T) {
+	const m, p = 11, 3
+	_, slabbed, aG := buildBoth(t, m, p, 5)
+	// Solve through the slab-built systems and compare against the global
+	// reference solution.
+	ref := make([]float64, aG.Rows)
+	bGlob := dsys.Gather(slabbed, func() [][]float64 {
+		out := make([][]float64, p)
+		for r, s := range slabbed {
+			out[r] = s.B
+		}
+		return out
+	}())
+	res := krylov.SolveCSR(aG, nil, bGlob, ref, krylov.Options{Restart: 40, MaxIters: 5000, Tol: 1e-10})
+	if !res.Converged {
+		t.Fatal("reference failed")
+	}
+	xl := make([][]float64, p)
+	dist.Run(p, rowsTestMachine(), func(c *dist.Comm) {
+		s := slabbed[c.Rank()]
+		x := make([]float64, s.NLoc())
+		r := krylov.Distributed(c, s, nil, s.B, x, krylov.Options{Restart: 40, MaxIters: 5000, Tol: 1e-10})
+		if !r.Converged {
+			t.Errorf("rank %d: no convergence", c.Rank())
+		}
+		xl[c.Rank()] = x
+	})
+	got := dsys.Gather(slabbed, xl)
+	for i := range ref {
+		if math.Abs(got[i]-ref[i]) > 1e-6 {
+			t.Fatalf("slab-built solve differs at %d: %v vs %v", i, got[i], ref[i])
+		}
+	}
+}
+
+func TestDistributeRowsValidation(t *testing.T) {
+	n := 4
+	part := []int{0, 0, 1, 1}
+	mk := func(rows ...int) *sparse.CSR {
+		coo := sparse.NewCOO(n, n, n)
+		for _, i := range rows {
+			coo.Add(i, i, 1)
+		}
+		return coo.ToCSR()
+	}
+	ok0, ok1 := mk(0, 1), mk(2, 3)
+	rhs := [][]float64{make([]float64, n), make([]float64, n)}
+
+	if _, err := dsys.DistributeRows(nil, nil, part); err == nil {
+		t.Error("empty slabs accepted")
+	}
+	if _, err := dsys.DistributeRows([]*sparse.CSR{ok0, ok1}, rhs, []int{0, 0, 1}); err == nil {
+		t.Error("short partition accepted")
+	}
+	// Row stored by the wrong rank.
+	if _, err := dsys.DistributeRows([]*sparse.CSR{mk(0, 1, 2), ok1}, rhs, part); err == nil {
+		t.Error("foreign row accepted")
+	}
+	// Owner missing a row.
+	if _, err := dsys.DistributeRows([]*sparse.CSR{mk(0), ok1}, rhs, part); err == nil {
+		t.Error("missing row accepted")
+	}
+	// Valid input passes.
+	if _, err := dsys.DistributeRows([]*sparse.CSR{ok0, ok1}, rhs, part); err != nil {
+		t.Errorf("valid slabs rejected: %v", err)
+	}
+}
+
+func TestDistributedElasticityAssemblyMatchesGlobal(t *testing.T) {
+	const size, p = 7, 3
+	g := grid.QuarterRing(size, size)
+	const mu, lambda = 1.0, 1.5
+	load := func(x []float64) (float64, float64) { return 0, -1 }
+	bc := map[int]float64{}
+	for n := 0; n < g.NumNodes(); n++ {
+		c := g.Coord(n)
+		if math.Abs(c[0]) < 1e-12 {
+			bc[2*n] = 0
+		}
+		if math.Abs(c[1]) < 1e-12 {
+			bc[2*n+1] = 0
+		}
+	}
+	ptr, adj := g.NodeGraph()
+	nodePart := partition.General(&partition.Graph{Ptr: ptr, Adj: adj}, p, 2)
+	part := make([]int, 2*g.NumNodes())
+	for n := 0; n < g.NumNodes(); n++ {
+		part[2*n], part[2*n+1] = nodePart[n], nodePart[n]
+	}
+
+	aG, bG := fem.AssembleElasticity(g, mu, lambda, load)
+	fem.ApplyDirichlet(aG, bG, bc)
+	global := dsys.Distribute(aG, bG, part, p)
+
+	slabs := make([]*sparse.CSR, p)
+	rhs := make([][]float64, p)
+	for r := 0; r < p; r++ {
+		owned := func(dof int) bool { return part[dof] == r }
+		slabs[r], rhs[r] = fem.AssembleElasticityRows(g, mu, lambda, load, owned)
+		fem.ApplyDirichletRows(slabs[r], rhs[r], bc, owned)
+	}
+	slabbed, err := dsys.DistributeRows(slabs, rhs, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < p; r++ {
+		gs, ss := global[r], slabbed[r]
+		if gs.NLoc() != ss.NLoc() || gs.NInt != ss.NInt {
+			t.Fatalf("rank %d: shape mismatch", r)
+		}
+		if gs.A.NNZ() != ss.A.NNZ() {
+			t.Fatalf("rank %d: nnz %d vs %d", r, gs.A.NNZ(), ss.A.NNZ())
+		}
+		for k := range gs.A.Val {
+			if gs.A.ColIdx[k] != ss.A.ColIdx[k] ||
+				math.Abs(gs.A.Val[k]-ss.A.Val[k]) > 1e-11*(1+math.Abs(gs.A.Val[k])) {
+				t.Fatalf("rank %d: entry %d differs", r, k)
+			}
+		}
+		for l := range gs.B {
+			if math.Abs(gs.B[l]-ss.B[l]) > 1e-12 {
+				t.Fatalf("rank %d: rhs %d differs", r, l)
+			}
+		}
+	}
+}

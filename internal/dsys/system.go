@@ -1,0 +1,323 @@
+// Package dsys implements the distributed sparse linear system of the
+// paper's §1.1 and §2: each processor owns one subdomain's rows of the
+// (only logically existing) global system. Local unknowns are ordered
+// internal-first, interdomain-interface-last, giving every subdomain
+// matrix the 2×2 block structure of eq. (4),
+//
+//	A_i = | B_i  F_i |
+//	      | E_i  C_i |
+//
+// plus coupling columns E_ij into the external interface unknowns owned by
+// neighboring subdomains (eq. 5). External interface values live in an
+// extension of the local vector and are refreshed by neighbor exchange
+// before every matrix-vector product.
+package dsys
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"parapre/internal/dist"
+	"parapre/internal/sparse"
+)
+
+// Neighbor describes the exchange pattern with one adjacent subdomain.
+type Neighbor struct {
+	Rank    int
+	SendIdx []int // local indices of owned unknowns this neighbor reads
+	RecvOff int   // offset of this neighbor's block in the external buffer
+	RecvLen int
+}
+
+// System is the subdomain-local view of the distributed system held by one
+// rank. Local numbering: [0, NInt) internal, [NInt, NLoc) interdomain
+// interface, [NLoc, NLoc+NExt) external interface (owned by neighbors).
+type System struct {
+	Rank int
+	P    int
+	N    int // global dimension
+
+	GlobalIDs []int // global id of each owned local unknown
+	NInt      int   // number of internal unknowns
+	ExtGlobal []int // global ids of the external interface unknowns
+
+	A *sparse.CSR // NLoc × (NLoc+NExt), rows in local ordering
+	B []float64   // local right-hand side, length NLoc
+
+	Neigh []Neighbor
+}
+
+// NLoc returns the number of owned unknowns.
+func (s *System) NLoc() int { return len(s.GlobalIDs) }
+
+// NExt returns the number of external interface unknowns.
+func (s *System) NExt() int { return len(s.ExtGlobal) }
+
+// NIface returns the number of owned interdomain-interface unknowns.
+func (s *System) NIface() int { return s.NLoc() - s.NInt }
+
+// String summarizes the subdomain.
+func (s *System) String() string {
+	return fmt.Sprintf("System{rank %d/%d, nloc=%d (int=%d, ifc=%d), next=%d, neigh=%d}",
+		s.Rank, s.P, s.NLoc(), s.NInt, s.NIface(), s.NExt(), len(s.Neigh))
+}
+
+// Distribute splits the globally assembled system (a, b) into P subdomain
+// systems according to part (part[g] = owning rank of global row g). It
+// performs the classification of §1.1: a node is interdomain interface iff
+// its matrix row couples to a node of another subdomain; otherwise it is
+// internal. The construction runs sequentially — it models the paper's
+// per-subdomain discretization setup phase, which happens before the
+// parallel solve.
+func Distribute(a *sparse.CSR, b []float64, part []int, p int) []*System {
+	if a.Rows != a.Cols {
+		panic("dsys: matrix must be square")
+	}
+	n := a.Rows
+	if len(part) != n || len(b) != n {
+		panic("dsys: dimension mismatch between matrix, rhs and partition")
+	}
+
+	// Classify every global node.
+	isIface := make([]bool, n)
+	for i := 0; i < n; i++ {
+		cols, _ := a.Row(i)
+		for _, j := range cols {
+			if part[j] != part[i] {
+				isIface[i] = true
+				break
+			}
+		}
+	}
+
+	systems := make([]*System, p)
+	globalToLocal := make([]int, n) // valid per-rank during its build pass
+	for r := 0; r < p; r++ {
+		systems[r] = buildLocal(a, b, part, r, p, isIface, globalToLocal)
+	}
+	wireNeighbors(systems)
+	return systems
+}
+
+func buildLocal(a *sparse.CSR, b []float64, part []int, r, p int, isIface []bool, g2l []int) *System {
+	n := a.Rows
+	s := &System{Rank: r, P: p, N: n}
+
+	// Owned unknowns: internal first, then interface, each in ascending
+	// global order.
+	for i := 0; i < n; i++ {
+		if part[i] == r && !isIface[i] {
+			s.GlobalIDs = append(s.GlobalIDs, i)
+		}
+	}
+	s.NInt = len(s.GlobalIDs)
+	for i := 0; i < n; i++ {
+		if part[i] == r && isIface[i] {
+			s.GlobalIDs = append(s.GlobalIDs, i)
+		}
+	}
+	nloc := len(s.GlobalIDs)
+	for l, g := range s.GlobalIDs {
+		g2l[g] = l
+	}
+
+	// External interface: referenced columns owned elsewhere, grouped by
+	// owner rank (ascending), sorted by global id within each group.
+	extSeen := map[int]bool{}
+	for _, g := range s.GlobalIDs {
+		cols, _ := a.Row(g)
+		for _, j := range cols {
+			if part[j] != r && !extSeen[j] {
+				extSeen[j] = true
+				s.ExtGlobal = append(s.ExtGlobal, j)
+			}
+		}
+	}
+	sort.Slice(s.ExtGlobal, func(x, y int) bool {
+		gx, gy := s.ExtGlobal[x], s.ExtGlobal[y]
+		if part[gx] != part[gy] {
+			return part[gx] < part[gy]
+		}
+		return gx < gy
+	})
+	extLocal := map[int]int{}
+	for k, g := range s.ExtGlobal {
+		extLocal[g] = nloc + k
+	}
+
+	// Neighbor receive blocks.
+	for k := 0; k < len(s.ExtGlobal); {
+		owner := part[s.ExtGlobal[k]]
+		start := k
+		for k < len(s.ExtGlobal) && part[s.ExtGlobal[k]] == owner {
+			k++
+		}
+		s.Neigh = append(s.Neigh, Neighbor{Rank: owner, RecvOff: start, RecvLen: k - start})
+	}
+
+	// Local matrix rows.
+	s.A = sparse.NewCSR(nloc, nloc+len(s.ExtGlobal), 0)
+	s.B = make([]float64, nloc)
+	for l, g := range s.GlobalIDs {
+		s.B[l] = b[g]
+		cols, vals := a.Row(g)
+		start := len(s.A.ColIdx)
+		for kk, j := range cols {
+			var lj int
+			if part[j] == r {
+				lj = g2l[j]
+			} else {
+				lj = extLocal[j]
+			}
+			s.A.ColIdx = append(s.A.ColIdx, lj)
+			s.A.Val = append(s.A.Val, vals[kk])
+		}
+		s.A.RowPtr[l+1] = len(s.A.ColIdx)
+		sortRowInPlace(s.A.ColIdx[start:], s.A.Val[start:])
+	}
+	return s
+}
+
+func sortRowInPlace(cols []int, vals []float64) {
+	for i := 1; i < len(cols); i++ {
+		c, v := cols[i], vals[i]
+		j := i - 1
+		for j >= 0 && cols[j] > c {
+			cols[j+1], vals[j+1] = cols[j], vals[j]
+			j--
+		}
+		cols[j+1], vals[j+1] = c, v
+	}
+}
+
+// wireNeighbors fills in the send sides: rank r must send to neighbor q
+// exactly the unknowns q listed as externals owned by r, in q's receive
+// order (sorted by global id).
+func wireNeighbors(systems []*System) {
+	for _, s := range systems {
+		// Local index of each owned global id, for send-list construction.
+		g2l := make(map[int]int, s.NLoc())
+		for l, g := range s.GlobalIDs {
+			g2l[g] = l
+		}
+		for qi := range systems {
+			q := systems[qi]
+			if q.Rank == s.Rank {
+				continue
+			}
+			// Does q receive anything from s?
+			for _, nb := range q.Neigh {
+				if nb.Rank != s.Rank {
+					continue
+				}
+				send := make([]int, nb.RecvLen)
+				for k := 0; k < nb.RecvLen; k++ {
+					g := q.ExtGlobal[nb.RecvOff+k]
+					l, ok := g2l[g]
+					if !ok {
+						panic(fmt.Sprintf("dsys: rank %d needs global %d from %d, which does not own it",
+							q.Rank, g, s.Rank))
+					}
+					send[k] = l
+				}
+				// Record (or create) the neighbor entry on s for q.
+				found := false
+				for ni := range s.Neigh {
+					if s.Neigh[ni].Rank == q.Rank {
+						s.Neigh[ni].SendIdx = send
+						found = true
+						break
+					}
+				}
+				if !found {
+					// s sends to q but receives nothing from it (possible
+					// with unsymmetric patterns).
+					s.Neigh = append(s.Neigh, Neighbor{Rank: q.Rank, SendIdx: send, RecvOff: s.NExt(), RecvLen: 0})
+				}
+			}
+		}
+		sort.Slice(s.Neigh, func(i, j int) bool { return s.Neigh[i].Rank < s.Neigh[j].Rank })
+	}
+}
+
+// tagExchange is the message tag used by interface exchanges.
+const tagExchange = 100
+
+// Exchange refreshes the external-interface section of ext (length
+// NLoc+NExt, owned values in ext[:NLoc] already filled by the caller) by
+// exchanging interface values with all neighbors through c.
+func (s *System) Exchange(c *dist.Comm, ext []float64) {
+	buf := make([]float64, 0, 64)
+	for _, nb := range s.Neigh {
+		if len(nb.SendIdx) == 0 {
+			continue
+		}
+		buf = buf[:0]
+		for _, l := range nb.SendIdx {
+			buf = append(buf, ext[l])
+		}
+		c.Send(nb.Rank, tagExchange, buf)
+	}
+	for _, nb := range s.Neigh {
+		if nb.RecvLen == 0 {
+			continue
+		}
+		got := c.Recv(nb.Rank, tagExchange)
+		copy(ext[s.NLoc()+nb.RecvOff:s.NLoc()+nb.RecvOff+nb.RecvLen], got)
+	}
+}
+
+// MatVec computes y = A_global·x restricted to this subdomain: x and y are
+// owned-length vectors; the external values needed by interface rows are
+// fetched from the neighbors. ext must have length NLoc+NExt and is used
+// as scratch.
+func (s *System) MatVec(c *dist.Comm, y, x, ext []float64) {
+	copy(ext, x)
+	s.Exchange(c, ext)
+	s.A.MulVecTo(y, ext)
+	c.Compute(2 * float64(s.A.NNZ()))
+}
+
+// Dot returns the global inner product of two distributed vectors.
+func (s *System) Dot(c *dist.Comm, x, y []float64) float64 {
+	local := sparse.Dot(x[:s.NLoc()], y[:s.NLoc()])
+	c.Compute(2 * float64(s.NLoc()))
+	return c.AllReduceSum(local)
+}
+
+// Norm2 returns the global Euclidean norm of a distributed vector.
+func (s *System) Norm2(c *dist.Comm, x []float64) float64 {
+	local := sparse.Dot(x[:s.NLoc()], x[:s.NLoc()])
+	c.Compute(2 * float64(s.NLoc()))
+	sum := c.AllReduceSum(local)
+	if sum < 0 {
+		sum = 0
+	}
+	return math.Sqrt(sum)
+}
+
+// Gather reassembles a global vector from the per-rank owned vectors.
+// Test/diagnostic helper: the solvers never materialize global vectors.
+func Gather(systems []*System, locals [][]float64) []float64 {
+	out := make([]float64, systems[0].N)
+	for r, s := range systems {
+		for l, g := range s.GlobalIDs {
+			out[g] = locals[r][l]
+		}
+	}
+	return out
+}
+
+// Scatter splits a global vector into per-rank owned vectors.
+func Scatter(systems []*System, x []float64) [][]float64 {
+	out := make([][]float64, len(systems))
+	for r, s := range systems {
+		v := make([]float64, s.NLoc())
+		for l, g := range s.GlobalIDs {
+			v[l] = x[g]
+		}
+		out[r] = v
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+// Package grid builds the computational grids of the paper's six test
+// cases (§3): structured triangulations of the unit square, Kuhn
+// tetrahedralizations of the unit cube, a curvilinear structured grid of a
+// quarter ring, and a synthetic unstructured triangulation standing in for
+// the paper's 521,185-node "special domain" of Test Case 3.
+package grid
+
+import "fmt"
+
+// Mesh is a conforming simplicial mesh: triangles in 2D (NPE = 3) or
+// tetrahedra in 3D (NPE = 4). Node coordinates are stored interleaved,
+// Dim values per node; element connectivity is flattened, NPE node ids per
+// element.
+type Mesh struct {
+	Dim   int       // spatial dimension, 2 or 3
+	NPE   int       // nodes per element, 3 or 4
+	X     []float64 // len = NumNodes()*Dim
+	Elems []int     // len = NumElems()*NPE
+}
+
+// NumNodes returns the node count.
+func (m *Mesh) NumNodes() int { return len(m.X) / m.Dim }
+
+// NumElems returns the element count.
+func (m *Mesh) NumElems() int { return len(m.Elems) / m.NPE }
+
+// Coord returns the coordinates of node n (a view into the mesh storage).
+func (m *Mesh) Coord(n int) []float64 { return m.X[n*m.Dim : (n+1)*m.Dim] }
+
+// Elem returns the node ids of element e (a view into the mesh storage).
+func (m *Mesh) Elem(e int) []int { return m.Elems[e*m.NPE : (e+1)*m.NPE] }
+
+// String returns a short summary.
+func (m *Mesh) String() string {
+	kind := "tri"
+	if m.NPE == 4 {
+		kind = "tet"
+	}
+	return fmt.Sprintf("Mesh{%dD %s, %d nodes, %d elems}", m.Dim, kind, m.NumNodes(), m.NumElems())
+}
+
+// Check validates structural invariants: coordinate/connectivity lengths
+// divisible by Dim/NPE, element node ids in range and distinct.
+func (m *Mesh) Check() error {
+	if m.Dim != 2 && m.Dim != 3 {
+		return fmt.Errorf("grid: dimension %d unsupported", m.Dim)
+	}
+	if m.NPE != m.Dim+1 {
+		return fmt.Errorf("grid: %dD mesh must have %d nodes per element, has %d", m.Dim, m.Dim+1, m.NPE)
+	}
+	if len(m.X)%m.Dim != 0 {
+		return fmt.Errorf("grid: coordinate array length %d not divisible by dim %d", len(m.X), m.Dim)
+	}
+	if len(m.Elems)%m.NPE != 0 {
+		return fmt.Errorf("grid: connectivity length %d not divisible by NPE %d", len(m.Elems), m.NPE)
+	}
+	nn := m.NumNodes()
+	for e := 0; e < m.NumElems(); e++ {
+		el := m.Elem(e)
+		for i, a := range el {
+			if a < 0 || a >= nn {
+				return fmt.Errorf("grid: element %d references node %d (of %d)", e, a, nn)
+			}
+			for _, b := range el[:i] {
+				if a == b {
+					return fmt.Errorf("grid: element %d has repeated node %d", e, a)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// NodeGraph returns the node adjacency of the mesh in CSR-like form:
+// adj[ptr[i]:ptr[i+1]] lists the distinct neighbors of node i (nodes
+// sharing at least one element with i, excluding i itself), sorted. This is
+// exactly the sparsity graph of the assembled FEM matrix, which is what the
+// partitioner operates on.
+func (m *Mesh) NodeGraph() (ptr, adj []int) {
+	nn := m.NumNodes()
+	// First pass: count element memberships per node.
+	deg := make([]int, nn)
+	for e := 0; e < m.NumElems(); e++ {
+		for _, a := range m.Elem(e) {
+			deg[a] += m.NPE - 1
+		}
+	}
+	ptr = make([]int, nn+1)
+	for i := 0; i < nn; i++ {
+		ptr[i+1] = ptr[i] + deg[i]
+	}
+	adj = make([]int, ptr[nn])
+	next := append([]int(nil), ptr[:nn]...)
+	for e := 0; e < m.NumElems(); e++ {
+		el := m.Elem(e)
+		for _, a := range el {
+			for _, b := range el {
+				if a != b {
+					adj[next[a]] = b
+					next[a]++
+				}
+			}
+		}
+	}
+	// Deduplicate per node.
+	out := adj[:0]
+	w := 0
+	for i := 0; i < nn; i++ {
+		lo, hi := ptr[i], ptr[i+1]
+		seg := adj[lo:hi]
+		insertionSortInts(seg)
+		start := w
+		prev := -1
+		for _, v := range seg {
+			if v != prev {
+				out = append(out, v)
+				w++
+				prev = v
+			}
+		}
+		ptr[i] = start
+	}
+	ptr[nn] = w
+	// ptr was rewritten in place during compaction: shift to canonical form.
+	// (ptr[i] currently holds the compacted start of node i.)
+	return ptr, out
+}
+
+func insertionSortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// BoundaryNodes returns a marker slice: true for every node lying on the
+// topological boundary of the mesh (incident to a facet that belongs to
+// exactly one element). This works for multiply-connected domains such as
+// the plate-with-hole mesh, where geometric predicates would not.
+func (m *Mesh) BoundaryNodes() []bool {
+	onB := make([]bool, m.NumNodes())
+	type facet [3]int // sorted node ids; third is -1 in 2D
+	count := make(map[facet]int)
+	record := func(f facet) { count[f]++ }
+	for e := 0; e < m.NumElems(); e++ {
+		el := m.Elem(e)
+		if m.NPE == 3 {
+			record(newFacet2(el[0], el[1]))
+			record(newFacet2(el[1], el[2]))
+			record(newFacet2(el[2], el[0]))
+		} else {
+			record(newFacet3(el[0], el[1], el[2]))
+			record(newFacet3(el[0], el[1], el[3]))
+			record(newFacet3(el[0], el[2], el[3]))
+			record(newFacet3(el[1], el[2], el[3]))
+		}
+	}
+	for f, c := range count {
+		if c == 1 {
+			onB[f[0]] = true
+			onB[f[1]] = true
+			if f[2] >= 0 {
+				onB[f[2]] = true
+			}
+		}
+	}
+	return onB
+}
+
+func newFacet2(a, b int) [3]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [3]int{a, b, -1}
+}
+
+func newFacet3(a, b, c int) [3]int {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return [3]int{a, b, c}
+}

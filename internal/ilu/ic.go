@@ -1,0 +1,127 @@
+package ilu
+
+import (
+	"fmt"
+	"math"
+
+	"parapre/internal/sparse"
+)
+
+// Chol is a zero fill-in incomplete Cholesky factorization A ≈ L·Lᵀ of a
+// symmetric positive definite matrix. Unlike the unsymmetric ILU variants
+// it is itself symmetric positive definite, which preconditioned CG
+// requires.
+type Chol struct {
+	L  *sparse.CSR // lower triangle, diagonal last in each row
+	Lt *sparse.CSR // Lᵀ, for the backward solve
+	// Fixes counts diagonal entries that had to be repaired to keep the
+	// factorization real (0 for M-matrices / well-behaved SPD input).
+	Fixes int
+}
+
+// N returns the matrix dimension.
+func (c *Chol) N() int { return c.L.Rows }
+
+// SolveFlops returns the cost of one Solve application.
+func (c *Chol) SolveFlops() float64 { return 4 * float64(c.L.NNZ()) }
+
+// Solve computes z = L⁻ᵀ·L⁻¹·r. z and r may alias.
+func (c *Chol) Solve(z, r []float64) {
+	n := c.N()
+	// Forward: L z = r (diagonal is the last entry of each row).
+	for i := 0; i < n; i++ {
+		s := r[i]
+		lo, hi := c.L.RowPtr[i], c.L.RowPtr[i+1]
+		for k := lo; k < hi-1; k++ {
+			s -= c.L.Val[k] * z[c.L.ColIdx[k]]
+		}
+		z[i] = s / c.L.Val[hi-1]
+	}
+	// Backward: Lᵀ z = z (diagonal is the first entry of each Lt row).
+	for i := n - 1; i >= 0; i-- {
+		lo, hi := c.Lt.RowPtr[i], c.Lt.RowPtr[i+1]
+		s := z[i]
+		for k := lo + 1; k < hi; k++ {
+			s -= c.Lt.Val[k] * z[c.Lt.ColIdx[k]]
+		}
+		z[i] = s / c.Lt.Val[lo]
+	}
+}
+
+// IC0 computes the zero fill-in incomplete Cholesky factorization: L
+// keeps exactly the lower-triangular pattern of a. a must be square with
+// a symmetric pattern and positive diagonal; non-positive intermediate
+// diagonals are repaired (counted in Fixes).
+func IC0(a *sparse.CSR) (*Chol, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("ilu: IC0 of non-square %d×%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := sparse.NewCSR(n, n, a.NNZ()/2+n)
+	fixes := 0
+
+	// Dense scatter of the current row's computed L values.
+	w := make([]float64, n)
+	inRow := make([]bool, n)
+
+	for i := 0; i < n; i++ {
+		cols, vals := a.Row(i)
+		var rowNorm float64
+		var diagA float64
+		// Collect lower-pattern entries of row i.
+		start := len(l.ColIdx)
+		for k, j := range cols {
+			rowNorm += math.Abs(vals[k])
+			if j < i {
+				l.ColIdx = append(l.ColIdx, j)
+				l.Val = append(l.Val, vals[k])
+			} else if j == i {
+				diagA = vals[k]
+			}
+		}
+		if len(cols) > 0 {
+			rowNorm /= float64(len(cols))
+		}
+
+		// Compute L[i][j] for j in pattern, in increasing j.
+		rowCols := l.ColIdx[start:]
+		rowVals := l.Val[start:]
+		for t, j := range rowCols {
+			// s = A[i][j] − Σ_{k<j} L[i][k]·L[j][k]; iterate row j of L.
+			s := rowVals[t]
+			jlo, jhi := l.RowPtr[j], l.RowPtr[j+1]
+			for k := jlo; k < jhi-1; k++ {
+				jk := l.ColIdx[k]
+				if inRow[jk] {
+					s -= w[jk] * l.Val[k]
+				}
+			}
+			ljj := l.Val[jhi-1]
+			lij := s / ljj
+			rowVals[t] = lij
+			w[j] = lij
+			inRow[j] = true
+		}
+		// Diagonal.
+		d := diagA
+		for _, j := range rowCols {
+			d -= w[j] * w[j]
+		}
+		if d <= 0 {
+			fixes++
+			d = pivotRel * rowNorm
+			if d <= 0 {
+				d = pivotRel
+			}
+		}
+		l.ColIdx = append(l.ColIdx, i)
+		l.Val = append(l.Val, math.Sqrt(d))
+		l.RowPtr[i+1] = len(l.ColIdx)
+
+		for _, j := range rowCols {
+			inRow[j] = false
+			w[j] = 0
+		}
+	}
+	return &Chol{L: l, Lt: l.Transpose(), Fixes: fixes}, nil
+}

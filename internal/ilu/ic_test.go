@@ -1,0 +1,129 @@
+package ilu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"parapre/internal/sparse"
+)
+
+func TestIC0ExactOnTridiagonal(t *testing.T) {
+	a := tridiag(40)
+	c, err := IC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fixes != 0 {
+		t.Fatalf("fixes %d on an M-matrix", c.Fixes)
+	}
+	rng := rand.New(rand.NewSource(1))
+	xTrue := make([]float64, 40)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := a.MulVec(xTrue)
+	x := make([]float64, 40)
+	c.Solve(x, b)
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-9 {
+			t.Fatalf("IC0 not exact on no-fill matrix: err at %d", i)
+		}
+	}
+}
+
+func TestIC0FactorsReproduceNoFillMatrix(t *testing.T) {
+	// L·Lᵀ must equal A exactly when the pattern admits no fill.
+	a := tridiag(15)
+	c, err := IC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := a.Rows
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			var s float64
+			for k := 0; k <= j; k++ {
+				s += c.L.At(i, k) * c.L.At(j, k)
+			}
+			if math.Abs(s-a.At(i, j)) > 1e-12 {
+				t.Fatalf("LLᵀ(%d,%d) = %v, want %v", i, j, s, a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestIC0PreconditionerIsSymmetric(t *testing.T) {
+	// xᵀM⁻¹y == yᵀM⁻¹x: the property that keeps PCG valid.
+	a := lap2d(8)
+	c, err := IC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := a.Rows
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5; trial++ {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i], y[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		mx := make([]float64, n)
+		my := make([]float64, n)
+		c.Solve(mx, x)
+		c.Solve(my, y)
+		lhs := sparse.Dot(y, mx)
+		rhs := sparse.Dot(x, my)
+		if math.Abs(lhs-rhs) > 1e-9*(1+math.Abs(lhs)) {
+			t.Fatalf("M⁻¹ not symmetric: %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+func TestIC0SolveAlias(t *testing.T) {
+	a := lap2d(5)
+	c, err := IC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := a.Rows
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i % 3)
+	}
+	want := make([]float64, n)
+	c.Solve(want, b)
+	x := append([]float64(nil), b...)
+	c.Solve(x, x)
+	for i := range want {
+		if x[i] != want[i] {
+			t.Fatal("aliased IC solve differs")
+		}
+	}
+}
+
+func TestIC0NonSquare(t *testing.T) {
+	if _, err := IC0(sparse.NewCSR(2, 3, 0)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestIC0FixesIndefinite(t *testing.T) {
+	coo := sparse.NewCOO(2, 2, 3)
+	coo.Add(0, 0, 1)
+	coo.Add(1, 1, -5) // not SPD
+	c, err := IC0(coo.ToCSR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fixes == 0 {
+		t.Fatal("indefinite diagonal not detected")
+	}
+	z := make([]float64, 2)
+	c.Solve(z, []float64{1, 1})
+	for _, v := range z {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite solve after fix")
+		}
+	}
+}

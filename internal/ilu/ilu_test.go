@@ -1,0 +1,386 @@
+package ilu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parapre/internal/sparse"
+)
+
+// tridiag builds the 1D Laplacian [−1 2 −1], whose LU has no fill, so
+// ILU(0) is exact on it.
+func tridiag(n int) *sparse.CSR {
+	coo := sparse.NewCOO(n, n, 3*n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 2)
+		if i > 0 {
+			coo.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			coo.Add(i, i+1, -1)
+		}
+	}
+	return coo.ToCSR()
+}
+
+// randSPDish builds a random diagonally dominant sparse matrix.
+func randSPDish(rng *rand.Rand, n int, density float64) *sparse.CSR {
+	coo := sparse.NewCOO(n, n, int(float64(n*n)*density)+n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 8+rng.Float64())
+		for j := 0; j < n; j++ {
+			if j != i && rng.Float64() < density {
+				coo.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+func solveErr(f *LU, a *sparse.CSR, rng *rand.Rand) float64 {
+	n := a.Rows
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := a.MulVec(xTrue)
+	x := make([]float64, n)
+	f.Solve(x, b)
+	var maxErr float64
+	for i := range x {
+		if e := math.Abs(x[i] - xTrue[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	return maxErr
+}
+
+func TestILU0ExactOnTridiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := tridiag(50)
+	f, err := ILU0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.PivotFixes != 0 {
+		t.Fatalf("unexpected pivot fixes: %d", f.PivotFixes)
+	}
+	if got := solveErr(f, a, rng); got > 1e-10 {
+		t.Fatalf("ILU0 not exact on tridiagonal: err %v", got)
+	}
+}
+
+func TestILU0PatternPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randSPDish(rng, 40, 0.15)
+	f, err := ILU0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NNZ() != a.NNZ() {
+		t.Fatalf("ILU0 changed pattern size: %d vs %d", f.NNZ(), a.NNZ())
+	}
+	for i := 0; i < a.Rows; i++ {
+		ac, _ := a.Row(i)
+		fc, _ := f.M.Row(i)
+		for k := range ac {
+			if ac[k] != fc[k] {
+				t.Fatalf("pattern differs in row %d", i)
+			}
+		}
+	}
+}
+
+func TestILU0MissingDiagonalRejected(t *testing.T) {
+	coo := sparse.NewCOO(2, 2, 2)
+	coo.Add(0, 1, 1)
+	coo.Add(1, 0, 1)
+	if _, err := ILU0(coo.ToCSR()); err == nil {
+		t.Fatal("matrix without diagonal accepted")
+	}
+}
+
+func TestILU0NonSquareRejected(t *testing.T) {
+	if _, err := ILU0(sparse.NewCSR(2, 3, 0)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	if _, err := ILUT(sparse.NewCSR(2, 3, 0), DefaultILUT()); err == nil {
+		t.Fatal("non-square accepted by ILUT")
+	}
+}
+
+func TestILUTCompleteIsExact(t *testing.T) {
+	// Tau=0, unlimited fill: complete LU (no pivoting), exact for
+	// diagonally dominant matrices.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(40)
+		a := randSPDish(rng, n, 0.2)
+		f, err := ILUT(a, ILUTOptions{Tau: 0, LFil: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := solveErr(f, a, rng); got > 1e-8 {
+			t.Fatalf("trial %d (n=%d): complete ILUT err %v", trial, n, got)
+		}
+	}
+}
+
+func TestILUTCompleteProductReproducesA(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randSPDish(rng, 25, 0.25)
+	f, err := ILUT(a, ILUTOptions{Tau: 0, LFil: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lu := f.Product()
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if math.Abs(lu.At(i, j)-a.At(i, j)) > 1e-9 {
+				t.Fatalf("L·U differs from A at (%d,%d): %v vs %v", i, j, lu.At(i, j), a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestILUTDropsWithLargeTau(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randSPDish(rng, 60, 0.2)
+	loose, err := ILUT(a, ILUTOptions{Tau: 0.2, LFil: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := ILUT(a, ILUTOptions{Tau: 0, LFil: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.NNZ() >= tight.NNZ() {
+		t.Fatalf("dropping did not reduce fill: %d vs %d", loose.NNZ(), tight.NNZ())
+	}
+	// Even the loose factorization must reduce the residual of a solve
+	// versus doing nothing: check ‖b − A·M⁻¹b‖ < ‖b − A·b‖ style sanity.
+	n := a.Rows
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	loose.Solve(x, b)
+	r := append([]float64(nil), b...)
+	a.MulVecSub(r, x)
+	if sparse.Norm2(r) > 0.9*sparse.Norm2(b) {
+		t.Fatalf("loose ILUT barely reduces residual: %v vs %v", sparse.Norm2(r), sparse.Norm2(b))
+	}
+}
+
+func TestILUTLFilRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randSPDish(rng, 50, 0.4)
+	lfil := 3
+	f, err := ILUT(a, ILUTOptions{Tau: 0, LFil: lfil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < f.N(); i++ {
+		lCount := f.Diag[i] - f.M.RowPtr[i]
+		uCount := f.M.RowPtr[i+1] - f.Diag[i] - 1
+		if lCount > lfil || uCount > lfil {
+			t.Fatalf("row %d: L=%d U=%d exceed lfil=%d", i, lCount, uCount, lfil)
+		}
+	}
+}
+
+func TestILUTMatchesILU0OnNoFillMatrix(t *testing.T) {
+	// On a tridiagonal matrix ILU(0), complete ILUT and dense LU coincide.
+	a := tridiag(30)
+	f0, err := ILU0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := ILUT(a, ILUTOptions{Tau: 0, LFil: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f0.NNZ() != ft.NNZ() {
+		t.Fatalf("nnz differ: %d vs %d", f0.NNZ(), ft.NNZ())
+	}
+	for k := range f0.M.Val {
+		if math.Abs(f0.M.Val[k]-ft.M.Val[k]) > 1e-12 {
+			t.Fatalf("factor value %d differs: %v vs %v", k, f0.M.Val[k], ft.M.Val[k])
+		}
+	}
+}
+
+func TestILUTPropertyCompleteEqualsDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(15)
+		a := randSPDish(rng, n, 0.3)
+		fa, err := ILUT(a, ILUTOptions{Tau: 0, LFil: 0})
+		if err != nil {
+			return false
+		}
+		df, err := a.Dense().Factor()
+		if err != nil {
+			return false
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x1 := make([]float64, n)
+		fa.Solve(x1, b)
+		x2 := df.Solve(b)
+		for i := range x1 {
+			if math.Abs(x1[i]-x2[i]) > 1e-7*(1+math.Abs(x2[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPivotFixKeepsSolveFinite(t *testing.T) {
+	// A structurally singular matrix (zero row/column except diagonal
+	// zero) must not produce Inf/NaN after the pivot fix.
+	coo := sparse.NewCOO(3, 3, 5)
+	coo.Add(0, 0, 1)
+	coo.Add(1, 1, 0) // explicit zero pivot
+	coo.Add(2, 2, 2)
+	coo.Add(0, 2, 1)
+	coo.Add(2, 0, 1)
+	a := coo.ToCSR()
+	f, err := ILU0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.PivotFixes == 0 {
+		t.Fatal("zero pivot not detected")
+	}
+	x := make([]float64, 3)
+	f.Solve(x, []float64{1, 1, 1})
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite solve result %v", x)
+		}
+	}
+}
+
+func TestExtractTrailingExactSchur(t *testing.T) {
+	// For a complete factorization of A ordered [B F; E C], the trailing
+	// factors must multiply back to the exact Schur complement
+	// S = C − E·B⁻¹·F.
+	rng := rand.New(rand.NewSource(7))
+	n, nB := 18, 12
+	a := randSPDish(rng, n, 0.3)
+	f, err := ILUT(a, ILUTOptions{Tau: 0, LFil: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := ExtractTrailing(f, nB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fs.Product()
+
+	// Dense oracle for S.
+	idxB := make([]int, nB)
+	idxC := make([]int, n-nB)
+	for i := 0; i < nB; i++ {
+		idxB[i] = i
+	}
+	for i := nB; i < n; i++ {
+		idxC[i-nB] = i
+	}
+	B := sparse.Extract(a, idxB, idxB).Dense()
+	F := sparse.Extract(a, idxB, idxC).Dense()
+	E := sparse.Extract(a, idxC, idxB).Dense()
+	C := sparse.Extract(a, idxC, idxC).Dense()
+	bf, err := B.Factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := n - nB
+	for j := 0; j < ns; j++ {
+		// Column j of B⁻¹F.
+		col := make([]float64, nB)
+		for i := 0; i < nB; i++ {
+			col[i] = F.At(i, j)
+		}
+		binvf := bf.Solve(col)
+		for i := 0; i < ns; i++ {
+			var eb float64
+			for k := 0; k < nB; k++ {
+				eb += E.At(i, k) * binvf[k]
+			}
+			want := C.At(i, j) - eb
+			if math.Abs(got.At(i, j)-want) > 1e-7*(1+math.Abs(want)) {
+				t.Fatalf("S(%d,%d) = %v, want %v", i, j, got.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestExtractTrailingBounds(t *testing.T) {
+	a := tridiag(5)
+	f, _ := ILU0(a)
+	if _, err := ExtractTrailing(f, -1); err == nil {
+		t.Fatal("negative start accepted")
+	}
+	if _, err := ExtractTrailing(f, 6); err == nil {
+		t.Fatal("start > n accepted")
+	}
+	full, err := ExtractTrailing(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.NNZ() != f.NNZ() {
+		t.Fatal("start=0 must return the whole factorization")
+	}
+	empty, err := ExtractTrailing(f, 5)
+	if err != nil || empty.N() != 0 {
+		t.Fatalf("start=n must return empty factorization: %v %v", empty, err)
+	}
+}
+
+func TestSolveFlops(t *testing.T) {
+	a := tridiag(10)
+	f, _ := ILU0(a)
+	if got := f.SolveFlops(); got != 2*float64(a.NNZ()) {
+		t.Fatalf("SolveFlops = %v", got)
+	}
+}
+
+func BenchmarkILUTFactor(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	a := randSPDish(rng, 500, 0.02)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ILUT(a, DefaultILUT()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkILUSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	a := randSPDish(rng, 1000, 0.01)
+	f, err := ILUT(a, DefaultILUT())
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, 1000)
+	rhs := make([]float64, 1000)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Solve(x, rhs)
+	}
+}

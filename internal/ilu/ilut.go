@@ -1,0 +1,197 @@
+package ilu
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"parapre/internal/sparse"
+)
+
+// ILUTOptions controls the dual-threshold factorization. The paper's ILUT
+// subdomain solvers correspond to moderate fill (LFil ≈ 10–30) and a drop
+// tolerance around 1e-2…1e-4.
+type ILUTOptions struct {
+	Tau  float64 // relative drop tolerance; entries < Tau·‖row‖ are dropped
+	LFil int     // max kept entries per row in each of the L and U parts (excl. diagonal); <=0 means unlimited
+}
+
+// DefaultILUT returns the setting used by the paper-style Block 2 / Schur 1
+// subdomain solvers.
+func DefaultILUT() ILUTOptions { return ILUTOptions{Tau: 1e-3, LFil: 20} }
+
+// intHeap is a min-heap of column indices, used to process L-part entries
+// in ascending column order as fill is created.
+type intHeap []int
+
+func (h intHeap) Len() int           { return len(h) }
+func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() any {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// ILUT computes the dual-threshold incomplete factorization of Saad
+// (ILUT(τ, lfil)): during the elimination of each row, entries smaller
+// than τ·‖row‖ (mean-magnitude row norm) are dropped, and only the LFil
+// largest entries are kept in each of the row's L and U parts (the
+// diagonal is always kept). With Tau = 0 and LFil ≤ 0 the factorization is
+// a complete LU without pivoting.
+func ILUT(a *sparse.CSR, opt ILUTOptions) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("ilu: ILUT of non-square %d×%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lfil := opt.LFil
+	if lfil <= 0 {
+		lfil = n
+	}
+
+	m := sparse.NewCSR(n, n, a.NNZ()*2)
+	diag := make([]int, n)
+	f := &LU{M: m, Diag: diag}
+
+	w := make([]float64, n)  // scatter workspace
+	inRow := make([]bool, n) // membership of w
+	var lCols intHeap        // active columns < i, heap-ordered
+	uCols := make([]int, 0, n)
+	procL := make([]int, 0, n) // kept L columns in elimination order
+
+	for i := 0; i < n; i++ {
+		cols, vals := a.Row(i)
+		var rowNorm float64
+		lCols = lCols[:0]
+		uCols = uCols[:0]
+		procL = procL[:0]
+		diagSeen := false
+		for k, j := range cols {
+			w[j] = vals[k]
+			inRow[j] = true
+			rowNorm += math.Abs(vals[k])
+			if j < i {
+				lCols = append(lCols, j)
+			} else {
+				uCols = append(uCols, j)
+				if j == i {
+					diagSeen = true
+				}
+			}
+		}
+		if !diagSeen {
+			w[i] = 0
+			inRow[i] = true
+			uCols = append(uCols, i)
+		}
+		if len(cols) > 0 {
+			rowNorm /= float64(len(cols))
+		}
+		drop := opt.Tau * rowNorm
+		heap.Init(&lCols)
+
+		// Eliminate in ascending column order; L fill-in re-enters the
+		// heap, U fill-in joins uCols.
+		for lCols.Len() > 0 {
+			k := heap.Pop(&lCols).(int)
+			lik := w[k] / m.Val[diag[k]]
+			inRow[k] = false
+			if math.Abs(lik) <= drop {
+				continue
+			}
+			w[k] = lik
+			procL = append(procL, k)
+			// Fill lands only at columns > k; since the heap pops in
+			// ascending order, it can never hit an already-eliminated
+			// column.
+			for kj := diag[k] + 1; kj < m.RowPtr[k+1]; kj++ {
+				j := m.ColIdx[kj]
+				delta := lik * m.Val[kj]
+				if inRow[j] {
+					w[j] -= delta
+					continue
+				}
+				w[j] = -delta
+				inRow[j] = true
+				if j < i {
+					heap.Push(&lCols, j)
+				} else {
+					uCols = append(uCols, j)
+				}
+			}
+		}
+
+		// Select survivors: largest |·| up to lfil in each part, dropping
+		// small entries; diagonal always kept.
+		lSel := selectLargest(procL, w, drop, lfil, -1)
+		uSel := selectLargest(uCols, w, drop, lfil, i)
+
+		sort.Ints(lSel)
+		sort.Ints(uSel)
+		for _, j := range lSel {
+			m.ColIdx = append(m.ColIdx, j)
+			m.Val = append(m.Val, w[j])
+		}
+		for _, j := range uSel {
+			if j == i {
+				diag[i] = len(m.ColIdx)
+				m.ColIdx = append(m.ColIdx, j)
+				m.Val = append(m.Val, fixPivot(w[j], rowNorm, &f.PivotFixes))
+				continue
+			}
+			m.ColIdx = append(m.ColIdx, j)
+			m.Val = append(m.Val, w[j])
+		}
+		m.RowPtr[i+1] = len(m.ColIdx)
+
+		// Reset workspace.
+		for _, j := range procL {
+			inRow[j] = false
+			w[j] = 0
+		}
+		for _, j := range uCols {
+			inRow[j] = false
+			w[j] = 0
+		}
+		// Dropped L columns already cleared inRow; their w entries are
+		// stale but only reachable via inRow, which is false.
+	}
+	return f, nil
+}
+
+// selectLargest returns up to limit columns with the largest |w| values,
+// excluding entries ≤ drop; the column `always` (the diagonal) is kept
+// unconditionally and does not count against the limit.
+func selectLargest(cand []int, w []float64, drop float64, limit, always int) []int {
+	kept := make([]int, 0, len(cand))
+	for _, j := range cand {
+		if j == always || math.Abs(w[j]) > drop {
+			kept = append(kept, j)
+		}
+	}
+	// Fast path: everything fits.
+	count := len(kept)
+	if always >= 0 {
+		count--
+	}
+	if count <= limit {
+		return kept
+	}
+	sort.Slice(kept, func(a, b int) bool {
+		ja, jb := kept[a], kept[b]
+		if ja == always {
+			return true
+		}
+		if jb == always {
+			return false
+		}
+		return math.Abs(w[ja]) > math.Abs(w[jb])
+	})
+	if always >= 0 {
+		return kept[:limit+1]
+	}
+	return kept[:limit]
+}

@@ -1,0 +1,231 @@
+package ilu
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"parapre/internal/sparse"
+)
+
+// PivLU is an incomplete factorization with column pivoting:
+// A·Qᵀ ≈ L·U, where Q is the accumulated column permutation. Solve applies
+// the factors and scatters through the permutation.
+type PivLU struct {
+	LU   *LU
+	Perm sparse.Perm // Perm[k] = original column at permuted position k
+	// Swaps counts the pivoting swaps performed (0 ⇒ identical to ILUT).
+	Swaps int
+}
+
+// Solve computes x with A·x = b (approximately): x = Qᵀ·U⁻¹·L⁻¹·b.
+func (p *PivLU) Solve(x, b []float64) {
+	n := p.LU.N()
+	tmp := make([]float64, n)
+	p.LU.Solve(tmp, b)
+	for k := 0; k < n; k++ {
+		x[p.Perm[k]] = tmp[k]
+	}
+}
+
+// SolveFlops returns the flop count of one Solve.
+func (p *PivLU) SolveFlops() float64 { return p.LU.SolveFlops() }
+
+// ILUTPOptions extends ILUT with the pivoting tolerance: at step i the
+// largest U-part candidate replaces the diagonal when
+// |w_max| · PermTol > |w_diag|. PermTol = 0 disables pivoting (plain
+// ILUT); the SPARSKIT default is 0.5–1.
+type ILUTPOptions struct {
+	ILUTOptions
+	PermTol float64
+}
+
+// ILUTP computes the dual-threshold incomplete factorization with column
+// pivoting (Saad's ILUTP). It handles matrices with zero or weak
+// diagonals — e.g. strongly convective problems or saddle-point-like
+// blocks — where plain ILUT would need pivot fixes.
+func ILUTP(a *sparse.CSR, opt ILUTPOptions) (*PivLU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("ilu: ILUTP of non-square %d×%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lfil := opt.LFil
+	if lfil <= 0 {
+		lfil = n
+	}
+
+	perm := sparse.IdentityPerm(n)  // permuted position → original column
+	iperm := sparse.IdentityPerm(n) // original column → permuted position
+
+	m := sparse.NewCSR(n, n, a.NNZ()*2)
+	diag := make([]int, n)
+	out := &PivLU{LU: &LU{M: m, Diag: diag}, Perm: perm}
+
+	// Workspace indexed by ORIGINAL column id; the heap orders L-part
+	// candidates by their permuted position.
+	w := make([]float64, n)
+	inRow := make([]bool, n)
+	var lCols permHeap
+	lCols.iperm = iperm
+	uCols := make([]int, 0, n)
+	procL := make([]int, 0, n) // kept L columns (original ids), elimination order
+
+	for i := 0; i < n; i++ {
+		cols, vals := a.Row(i)
+		var rowNorm float64
+		lCols.cols = lCols.cols[:0]
+		uCols = uCols[:0]
+		procL = procL[:0]
+		for k, j := range cols {
+			w[j] = vals[k]
+			inRow[j] = true
+			rowNorm += math.Abs(vals[k])
+			if iperm[j] < i {
+				lCols.cols = append(lCols.cols, j)
+			} else {
+				uCols = append(uCols, j)
+			}
+		}
+		if len(cols) > 0 {
+			rowNorm /= float64(len(cols))
+		}
+		drop := opt.Tau * rowNorm
+		heap.Init(&lCols)
+
+		for lCols.Len() > 0 {
+			j := heap.Pop(&lCols).(int) // original column, smallest permuted pos
+			k := iperm[j]               // pivot row
+			lik := w[j] / m.Val[diag[k]]
+			inRow[j] = false
+			if math.Abs(lik) <= drop {
+				continue
+			}
+			w[j] = lik
+			procL = append(procL, j)
+			for kj := diag[k] + 1; kj < m.RowPtr[k+1]; kj++ {
+				jj := m.ColIdx[kj] // original column id (remapped later)
+				delta := lik * m.Val[kj]
+				if inRow[jj] {
+					w[jj] -= delta
+					continue
+				}
+				w[jj] = -delta
+				inRow[jj] = true
+				if iperm[jj] < i {
+					heap.Push(&lCols, jj)
+				} else {
+					uCols = append(uCols, jj)
+				}
+			}
+		}
+
+		// Ensure a diagonal candidate exists.
+		dcol := perm[i]
+		if !inRow[dcol] {
+			w[dcol] = 0
+			inRow[dcol] = true
+			uCols = append(uCols, dcol)
+		}
+
+		// Column pivoting: promote the largest U candidate when it beats
+		// the current diagonal by the permtol margin.
+		if opt.PermTol > 0 {
+			best := dcol
+			for _, j := range uCols {
+				if math.Abs(w[j]) > math.Abs(w[best]) {
+					best = j
+				}
+			}
+			if best != dcol && math.Abs(w[best])*opt.PermTol > math.Abs(w[dcol]) {
+				pi, pb := iperm[dcol], iperm[best]
+				perm[pi], perm[pb] = perm[pb], perm[pi]
+				iperm[dcol], iperm[best] = iperm[best], iperm[dcol]
+				dcol = best
+				out.Swaps++
+			}
+		}
+
+		lSel := selectLargest(procL, w, drop, lfil, -1)
+		uSel := selectLargest(uCols, w, drop, lfil, dcol)
+		// Store in permuted order; remap to permuted indices after the
+		// factorization completes (iperm still changes for columns ≥ i).
+		sort.Slice(lSel, func(x, y int) bool { return iperm[lSel[x]] < iperm[lSel[y]] })
+		sort.Slice(uSel, func(x, y int) bool { return iperm[uSel[x]] < iperm[uSel[y]] })
+		for _, j := range lSel {
+			m.ColIdx = append(m.ColIdx, j)
+			m.Val = append(m.Val, w[j])
+		}
+		for _, j := range uSel {
+			if j == dcol {
+				diag[i] = len(m.ColIdx)
+				m.ColIdx = append(m.ColIdx, j)
+				m.Val = append(m.Val, fixPivot(w[j], rowNorm, &out.LU.PivotFixes))
+				continue
+			}
+			m.ColIdx = append(m.ColIdx, j)
+			m.Val = append(m.Val, w[j])
+		}
+		m.RowPtr[i+1] = len(m.ColIdx)
+
+		for _, j := range procL {
+			inRow[j] = false
+			w[j] = 0
+		}
+		for _, j := range uCols {
+			inRow[j] = false
+			w[j] = 0
+		}
+	}
+
+	// Remap stored column ids to permuted coordinates and re-sort rows —
+	// the factor becomes a standard LU in the permuted space.
+	for k, j := range m.ColIdx {
+		m.ColIdx[k] = iperm[j]
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		d := m.ColIdx[diag[i]]
+		sortRowAligned(m.ColIdx[lo:hi], m.Val[lo:hi])
+		// Relocate the diagonal index after sorting.
+		for k := lo; k < hi; k++ {
+			if m.ColIdx[k] == d {
+				diag[i] = k
+				break
+			}
+		}
+		if m.ColIdx[diag[i]] != i {
+			return nil, fmt.Errorf("ilu: ILUTP internal error: row %d pivot at column %d", i, m.ColIdx[diag[i]])
+		}
+	}
+	return out, nil
+}
+
+func sortRowAligned(cols []int, vals []float64) {
+	for i := 1; i < len(cols); i++ {
+		c, v := cols[i], vals[i]
+		j := i - 1
+		for j >= 0 && cols[j] > c {
+			cols[j+1], vals[j+1] = cols[j], vals[j]
+			j--
+		}
+		cols[j+1], vals[j+1] = c, v
+	}
+}
+
+// permHeap orders original column ids by their permuted positions.
+type permHeap struct {
+	cols  []int
+	iperm sparse.Perm
+}
+
+func (h *permHeap) Len() int           { return len(h.cols) }
+func (h *permHeap) Less(i, j int) bool { return h.iperm[h.cols[i]] < h.iperm[h.cols[j]] }
+func (h *permHeap) Swap(i, j int)      { h.cols[i], h.cols[j] = h.cols[j], h.cols[i] }
+func (h *permHeap) Push(x any)         { h.cols = append(h.cols, x.(int)) }
+func (h *permHeap) Pop() any {
+	old := h.cols
+	x := old[len(old)-1]
+	h.cols = old[:len(old)-1]
+	return x
+}

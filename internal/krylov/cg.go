@@ -1,0 +1,82 @@
+package krylov
+
+import "math"
+
+// CG solves A·x = b for symmetric positive definite A with preconditioned
+// conjugate gradients. x holds the initial guess on entry and the
+// solution on exit. The paper uses one FFT-preconditioned CG iteration as
+// the additive-Schwarz subdomain solver (§5.2); set MaxIters=1 for that.
+func CG(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options) Result {
+	if opt.MaxIters <= 0 {
+		opt.MaxIters = DefaultOptions().MaxIters
+	}
+	nf := float64(n)
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	res := Result{}
+	matvec(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	opt.charge(nf)
+	res.Initial = math.Sqrt(math.Max(dot(r, r), 0))
+	if opt.RecordHistory {
+		res.History = append(res.History, res.Initial)
+	}
+	if res.Initial == 0 {
+		res.Converged = true
+		return res
+	}
+	tolAbs := opt.Tol * res.Initial
+
+	if precond != nil {
+		precond(z, r)
+	} else {
+		copy(z, r)
+	}
+	copy(p, z)
+	rz := dot(r, z)
+
+	for it := 0; it < opt.MaxIters; it++ {
+		matvec(ap, p)
+		pap := dot(p, ap)
+		if pap <= 0 {
+			// Not SPD (or breakdown): bail out with the current iterate.
+			res.Breakdown = true
+			res.Final = math.Sqrt(math.Max(dot(r, r), 0))
+			return res
+		}
+		alpha := rz / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		opt.charge(4 * nf)
+		res.Iterations = it + 1
+		rn := math.Sqrt(math.Max(dot(r, r), 0))
+		res.Final = rn
+		if opt.RecordHistory {
+			res.History = append(res.History, rn)
+		}
+		if rn <= tolAbs {
+			res.Converged = true
+			return res
+		}
+		if precond != nil {
+			precond(z, r)
+		} else {
+			copy(z, r)
+		}
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+		opt.charge(2 * nf)
+	}
+	return res
+}

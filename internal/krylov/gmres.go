@@ -1,0 +1,279 @@
+// Package krylov implements the Krylov subspace solvers of the paper:
+// restarted GMRES(m), its flexible variant FGMRES(m) (required because the
+// Schur-complement preconditioners are themselves inner iterations, i.e.
+// the preconditioner changes from step to step), and preconditioned CG
+// (used inside the additive-Schwarz subdomain solver of §5.2).
+//
+// One implementation serves both the sequential subdomain solvers and the
+// distributed outer solver: the matrix, the preconditioner and the inner
+// product are injected. In the distributed setting the injected matvec
+// performs the neighbor exchange and the injected dot performs the
+// all-reduce, so the Hessenberg recurrence below is replicated
+// identically on every rank — exactly how distributed GMRES works on a
+// real machine.
+package krylov
+
+import "math"
+
+// Op applies an operator: y = A·x. y and x never alias.
+type Op func(y, x []float64)
+
+// Prec applies a preconditioner: z = M⁻¹·r. z and r never alias. A nil
+// Prec means identity (unpreconditioned).
+type Prec func(z, r []float64)
+
+// Dot is the (possibly global) inner product.
+type Dot func(x, y []float64) float64
+
+// Options configures a solve.
+type Options struct {
+	Restart  int     // m in GMRES(m); the paper uses 20
+	MaxIters int     // cap on total iterations
+	Tol      float64 // relative residual reduction; the paper uses 1e-6
+	Flexible bool    // FGMRES: store preconditioned basis vectors
+
+	// Compute, when non-nil, is charged with the flop counts of the
+	// solver's own vector operations (the injected Op/Prec/Dot charge for
+	// themselves). The distributed driver passes dist.Comm.Compute.
+	Compute func(flops float64)
+
+	// RecordHistory makes the solver store the (estimated) residual norm
+	// after every iteration in Result.History — the paper's Diffpack
+	// "convergence monitors".
+	RecordHistory bool
+}
+
+// DefaultOptions mirrors the paper's solver configuration (§4.3):
+// (F)GMRES(20) reducing the residual by 1e−6.
+func DefaultOptions() Options {
+	return Options{Restart: 20, MaxIters: 1000, Tol: 1e-6}
+}
+
+// Result reports the outcome of a solve.
+type Result struct {
+	Iterations int       // matrix-vector products performed
+	Converged  bool      // reached Tol before MaxIters
+	Initial    float64   // initial residual norm
+	Final      float64   // final (estimated) residual norm
+	Breakdown  bool      // lucky/unlucky breakdown encountered
+	History    []float64 // per-iteration residual norms (with RecordHistory; History[0] is the initial norm)
+}
+
+func (o *Options) charge(flops float64) {
+	if o.Compute != nil {
+		o.Compute(flops)
+	}
+}
+
+// GMRES solves A·x = b with restarted, right-preconditioned GMRES(m)
+// (or FGMRES(m) if opt.Flexible). x holds the initial guess on entry and
+// the solution on exit.
+func GMRES(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options) Result {
+	if opt.Restart <= 0 {
+		opt.Restart = 20
+	}
+	if opt.MaxIters <= 0 {
+		opt.MaxIters = DefaultOptions().MaxIters
+	}
+	m := opt.Restart
+	nf := float64(n)
+
+	// Krylov basis; Z additionally holds the preconditioned vectors for
+	// the flexible variant.
+	V := make([][]float64, m+1)
+	for i := range V {
+		V[i] = make([]float64, n)
+	}
+	var Z [][]float64
+	if opt.Flexible && precond != nil {
+		Z = make([][]float64, m)
+		for i := range Z {
+			Z[i] = make([]float64, n)
+		}
+	}
+	H := make([]float64, (m+1)*m) // column-major Hessenberg: H[i+j*(m+1)]
+	cs := make([]float64, m)
+	sn := make([]float64, m)
+	g := make([]float64, m+1)
+	w := make([]float64, n)
+	z := make([]float64, n)
+	r := make([]float64, n)
+
+	res := Result{}
+	norm := func(v []float64) float64 {
+		d := dot(v, v)
+		if d < 0 {
+			d = 0
+		}
+		return math.Sqrt(d)
+	}
+
+	totalIters := 0
+	var ref float64
+
+	for {
+		// r = b − A·x.
+		matvec(r, x)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		opt.charge(nf)
+		beta := norm(r)
+		if ref == 0 {
+			ref = beta
+			res.Initial = beta
+			if opt.RecordHistory {
+				res.History = append(res.History, beta)
+			}
+			if beta == 0 {
+				res.Converged = true
+				res.Final = 0
+				return res
+			}
+		}
+		if beta <= opt.Tol*ref {
+			res.Converged = true
+			res.Final = beta
+			return res
+		}
+		if totalIters >= opt.MaxIters {
+			res.Final = beta
+			return res
+		}
+
+		inv := 1 / beta
+		for i := range r {
+			V[0][i] = r[i] * inv
+		}
+		opt.charge(nf)
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+
+		j := 0
+		for ; j < m && totalIters < opt.MaxIters; j++ {
+			// w = A·M⁻¹·v_j (right preconditioning).
+			vj := V[j]
+			if precond != nil {
+				if Z != nil {
+					precond(Z[j], vj)
+					matvec(w, Z[j])
+				} else {
+					precond(z, vj)
+					matvec(w, z)
+				}
+			} else {
+				matvec(w, vj)
+			}
+			totalIters++
+
+			// Modified Gram–Schmidt.
+			for i := 0; i <= j; i++ {
+				h := dot(w, V[i])
+				H[i+j*(m+1)] = h
+				for k := range w {
+					w[k] -= h * V[i][k]
+				}
+				opt.charge(2 * nf)
+			}
+			hn := norm(w)
+			H[j+1+j*(m+1)] = hn
+			if hn > 0 {
+				inv := 1 / hn
+				for k := range w {
+					V[j+1][k] = w[k] * inv
+				}
+				opt.charge(nf)
+			}
+
+			// Apply previous Givens rotations to the new column.
+			for i := 0; i < j; i++ {
+				hi, hi1 := H[i+j*(m+1)], H[i+1+j*(m+1)]
+				H[i+j*(m+1)] = cs[i]*hi + sn[i]*hi1
+				H[i+1+j*(m+1)] = -sn[i]*hi + cs[i]*hi1
+			}
+			// New rotation annihilating H[j+1, j].
+			hj, hj1 := H[j+j*(m+1)], H[j+1+j*(m+1)]
+			rho := math.Hypot(hj, hj1)
+			if rho == 0 {
+				// Breakdown: the Krylov space is exhausted.
+				res.Breakdown = true
+				j++
+				break
+			}
+			cs[j], sn[j] = hj/rho, hj1/rho
+			H[j+j*(m+1)] = rho
+			H[j+1+j*(m+1)] = 0
+			g[j+1] = -sn[j] * g[j]
+			g[j] = cs[j] * g[j]
+			if opt.RecordHistory {
+				res.History = append(res.History, math.Abs(g[j+1]))
+			}
+
+			if math.Abs(g[j+1]) <= opt.Tol*ref {
+				j++
+				break
+			}
+			if hn == 0 {
+				res.Breakdown = true
+				j++
+				break
+			}
+		}
+
+		// Solve the j×j triangular system H·y = g.
+		y := make([]float64, j)
+		for i := j - 1; i >= 0; i-- {
+			s := g[i]
+			for k := i + 1; k < j; k++ {
+				s -= H[i+k*(m+1)] * y[k]
+			}
+			y[i] = s / H[i+i*(m+1)]
+		}
+
+		// x += M⁻¹·V·y (plain) or Z·y (flexible).
+		if Z != nil {
+			for k := 0; k < j; k++ {
+				ax(x, y[k], Z[k])
+			}
+			opt.charge(2 * nf * float64(j))
+		} else if precond != nil {
+			for i := range w {
+				w[i] = 0
+			}
+			for k := 0; k < j; k++ {
+				ax(w, y[k], V[k])
+			}
+			opt.charge(2 * nf * float64(j))
+			precond(z, w)
+			for i := range x {
+				x[i] += z[i]
+			}
+			opt.charge(nf)
+		} else {
+			for k := 0; k < j; k++ {
+				ax(x, y[k], V[k])
+			}
+			opt.charge(2 * nf * float64(j))
+		}
+		res.Iterations = totalIters
+
+		if res.Breakdown {
+			// Recompute the true residual and return.
+			matvec(r, x)
+			for i := range r {
+				r[i] = b[i] - r[i]
+			}
+			res.Final = norm(r)
+			res.Converged = res.Final <= opt.Tol*ref
+			return res
+		}
+	}
+}
+
+func ax(y []float64, a float64, x []float64) {
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}

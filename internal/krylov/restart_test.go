@@ -1,0 +1,130 @@
+package krylov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"parapre/internal/dist"
+	"parapre/internal/sparse"
+)
+
+func TestFullGMRESEqualsRestartedWhenNoRestartHit(t *testing.T) {
+	// If the solver converges within one cycle, GMRES(m) and GMRES(2m)
+	// produce identical iterates.
+	rng := rand.New(rand.NewSource(40))
+	a, b, _ := randSystem(rng, 30, 0.2, true)
+	run := func(m int) ([]float64, Result) {
+		x := make([]float64, 30)
+		res := SolveCSR(a, nil, b, x, Options{Restart: m, MaxIters: 100, Tol: 1e-10})
+		return x, res
+	}
+	x1, r1 := run(40)
+	x2, r2 := run(80)
+	if !r1.Converged || !r2.Converged {
+		t.Fatal("no convergence")
+	}
+	if r1.Iterations != r2.Iterations {
+		t.Fatalf("iteration counts differ: %d vs %d", r1.Iterations, r2.Iterations)
+	}
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatal("iterates differ despite identical Krylov process")
+		}
+	}
+}
+
+func TestFGMRESMatchesGMRESWithConstantPreconditioner(t *testing.T) {
+	// With a fixed (linear) preconditioner, flexible and plain
+	// right-preconditioned GMRES generate the same Krylov space; the
+	// iteration counts must match.
+	rng := rand.New(rand.NewSource(41))
+	a, b, _ := randSystem(rng, 40, 0.15, false)
+	diag := a.Diagonal()
+	prec := func(z, r []float64) {
+		for i := range z {
+			z[i] = r[i] / diag[i]
+		}
+	}
+	run := func(flex bool) Result {
+		x := make([]float64, 40)
+		return SolveCSR(a, prec, b, x, Options{Restart: 20, MaxIters: 300, Tol: 1e-9, Flexible: flex})
+	}
+	plain := run(false)
+	flex := run(true)
+	if !plain.Converged || !flex.Converged {
+		t.Fatal("no convergence")
+	}
+	if plain.Iterations != flex.Iterations {
+		t.Fatalf("FGMRES (%d) and GMRES (%d) differ with a constant preconditioner",
+			flex.Iterations, plain.Iterations)
+	}
+}
+
+func TestGMRESMonotoneResidualWithinCycle(t *testing.T) {
+	// The GMRES minimization property: within one restart cycle the
+	// residual estimates never increase.
+	rng := rand.New(rand.NewSource(42))
+	a, b, _ := randSystem(rng, 60, 0.08, true)
+	x := make([]float64, 60)
+	res := SolveCSR(a, nil, b, x, Options{Restart: 60, MaxIters: 60, Tol: 1e-12, RecordHistory: true})
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] > res.History[i-1]*(1+1e-12) {
+			t.Fatalf("residual increased within cycle at %d", i)
+		}
+	}
+}
+
+func TestGMRESSolvesSingularConsistentSystem(t *testing.T) {
+	// A singular but consistent system (Neumann-like: A·1 = 0, b ⊥ 1):
+	// GMRES must reduce the residual without blowing up, even if the
+	// solution is only determined up to a constant.
+	n := 10
+	coo := sparse.NewCOO(n, n, 3*n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 2)
+		coo.Add(i, (i+1)%n, -1)
+		coo.Add(i, (i+n-1)%n, -1)
+	}
+	a := coo.ToCSR()
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = math.Sin(2 * math.Pi * float64(i) / float64(n)) // zero mean
+	}
+	x := make([]float64, n)
+	res := SolveCSR(a, nil, b, x, Options{Restart: 20, MaxIters: 100, Tol: 1e-8})
+	r := append([]float64(nil), b...)
+	a.MulVecSub(r, x)
+	if rel := sparse.Norm2(r) / sparse.Norm2(b); rel > 1e-6 {
+		t.Fatalf("residual %v on consistent singular system (res=%+v)", rel, res)
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite iterate")
+		}
+	}
+}
+
+func TestDistributedHistoryIdenticalAcrossRanks(t *testing.T) {
+	const p = 3
+	systems, _, _ := buildDistributedPoisson(t, 11, p)
+	histories := make([][]float64, p)
+	dist.Run(p, testMachine(), func(c *dist.Comm) {
+		s := systems[c.Rank()]
+		x := make([]float64, s.NLoc())
+		res := Distributed(c, s, nil, s.B, x, Options{
+			Restart: 20, MaxIters: 500, Tol: 1e-8, RecordHistory: true,
+		})
+		histories[c.Rank()] = res.History
+	})
+	for r := 1; r < p; r++ {
+		if len(histories[r]) != len(histories[0]) {
+			t.Fatalf("history lengths differ: %d vs %d", len(histories[r]), len(histories[0]))
+		}
+		for i := range histories[0] {
+			if histories[r][i] != histories[0][i] {
+				t.Fatalf("histories diverge at rank %d step %d", r, i)
+			}
+		}
+	}
+}

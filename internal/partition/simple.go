@@ -1,0 +1,92 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Simple partitions nodes by coordinate boxes — the "simple grid
+// partitioning scheme" of the paper's §5.1, which produces subdomains
+// shaped as rectangles (2D) or boxes (3D) when the global grid is one.
+// coords holds dim interleaved coordinates per node. p is factored into
+// near-equal counts per axis; within each axis nodes are split into
+// equal-population slabs, so the scheme also tolerates mildly non-uniform
+// grids.
+func Simple(coords []float64, dim, p int) []int {
+	n := len(coords) / dim
+	if p < 1 || p > n {
+		panic(fmt.Sprintf("partition: Simple p=%d for %d nodes", p, n))
+	}
+	factors := factorAxes(p, dim)
+	// Slab boundaries per axis via quantiles of the coordinates.
+	type axisCuts []float64
+	cuts := make([]axisCuts, dim)
+	for d := 0; d < dim; d++ {
+		k := factors[d]
+		if k == 1 {
+			cuts[d] = nil
+			continue
+		}
+		vals := make([]float64, n)
+		for i := 0; i < n; i++ {
+			vals[i] = coords[i*dim+d]
+		}
+		sort.Float64s(vals)
+		c := make(axisCuts, k-1)
+		for q := 1; q < k; q++ {
+			c[q-1] = vals[q*n/k]
+		}
+		cuts[d] = c
+	}
+	bin := func(v float64, c axisCuts) int {
+		// First cut strictly greater than v.
+		lo := 0
+		for lo < len(c) && v >= c[lo] {
+			lo++
+		}
+		return lo
+	}
+	part := make([]int, n)
+	for i := 0; i < n; i++ {
+		id := 0
+		for d := 0; d < dim; d++ {
+			id = id*factors[d] + bin(coords[i*dim+d], cuts[d])
+		}
+		part[i] = id
+	}
+	return part
+}
+
+// factorAxes factors p into dim near-equal factors (descending), e.g.
+// 16 → [4 4] in 2D, 16 → [4 2 2] in 3D.
+func factorAxes(p, dim int) []int {
+	out := make([]int, dim)
+	for i := range out {
+		out[i] = 1
+	}
+	// Repeatedly peel the largest prime factor onto the currently
+	// smallest axis product.
+	for rem := p; rem > 1; {
+		f := smallestPrimeFactor(rem)
+		rem /= f
+		// Assign to the axis with the smallest current factor.
+		best := 0
+		for d := 1; d < dim; d++ {
+			if out[d] < out[best] {
+				best = d
+			}
+		}
+		out[best] *= f
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+func smallestPrimeFactor(n int) int {
+	for f := 2; f*f <= n; f++ {
+		if n%f == 0 {
+			return f
+		}
+	}
+	return n
+}

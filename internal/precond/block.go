@@ -1,0 +1,186 @@
+package precond
+
+import (
+	"fmt"
+
+	"parapre/internal/arms"
+	"parapre/internal/dist"
+	"parapre/internal/dsys"
+	"parapre/internal/ilu"
+	"parapre/internal/order"
+	"parapre/internal/sparse"
+)
+
+// Block is the simple parallel block (block-Jacobi) preconditioner: each
+// subdomain independently solves A_i·z_i = r_i approximately with the
+// backward/forward procedure of an incomplete factorization. No
+// communication is involved, which gives these preconditioners their
+// excellent per-iteration scalability — and, for Block 1, the often slow
+// convergence the paper reports.
+type Block struct {
+	name string
+	f    *ilu.LU
+	// Optional fill-reducing pre-ordering (RCM): the factorization is of
+	// P·A_i·Pᵀ and Apply permutes in and out.
+	perm       sparse.Perm
+	rBuf, zBuf []float64
+}
+
+// NewBlock1 builds the Block 1 preconditioner (ILU(0) subdomain solver)
+// for this rank's subdomain.
+func NewBlock1(s *dsys.System) (*Block, error) {
+	f, err := ilu.ILU0(s.OwnedBlock())
+	if err != nil {
+		return nil, fmt.Errorf("precond: Block 1 rank %d: %w", s.Rank, err)
+	}
+	return &Block{name: string(KindBlock1), f: f}, nil
+}
+
+// NewBlock2 builds the Block 2 preconditioner (ILUT subdomain solver) for
+// this rank's subdomain.
+func NewBlock2(s *dsys.System, opt ilu.ILUTOptions) (*Block, error) {
+	f, err := ilu.ILUT(s.OwnedBlock(), opt)
+	if err != nil {
+		return nil, fmt.Errorf("precond: Block 2 rank %d: %w", s.Rank, err)
+	}
+	return &Block{name: string(KindBlock2), f: f}, nil
+}
+
+// Apply performs the subdomain backward/forward solve.
+func (b *Block) Apply(c *dist.Comm, z, r []float64) {
+	if b.perm == nil {
+		b.f.Solve(z, r)
+		c.Compute(b.f.SolveFlops())
+		return
+	}
+	b.perm.ApplyVecTo(b.rBuf, r)
+	b.f.Solve(b.zBuf, b.rBuf)
+	b.perm.ScatterVecTo(z, b.zBuf)
+	c.Compute(b.f.SolveFlops() + 2*float64(len(r)))
+}
+
+// Name returns the paper's notation for this preconditioner.
+func (b *Block) Name() string { return b.name }
+
+// FactorNNZ reports the stored factor size (diagnostics/benchmarks).
+func (b *Block) FactorNNZ() int { return b.f.NNZ() }
+
+// NewBlockOrdered builds a block preconditioner whose subdomain block is
+// RCM-reordered before factoring — a fill-quality upgrade especially for
+// ILUT with small LFil on irregularly numbered subdomains (general graph
+// partitions produce exactly those).
+func NewBlockOrdered(s *dsys.System, useILU0 bool, opt ilu.ILUTOptions) (*Block, error) {
+	blk := s.OwnedBlock()
+	perm := order.RCM(blk)
+	pblk := sparse.PermuteSym(blk, perm)
+	var f *ilu.LU
+	var err error
+	name := string(KindBlock2) + " (RCM)"
+	if useILU0 {
+		f, err = ilu.ILU0(pblk)
+		name = string(KindBlock1) + " (RCM)"
+	} else {
+		f, err = ilu.ILUT(pblk, opt)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("precond: ordered block rank %d: %w", s.Rank, err)
+	}
+	return &Block{
+		name: name,
+		f:    f,
+		perm: perm,
+		rBuf: make([]float64, blk.Rows),
+		zBuf: make([]float64, blk.Rows),
+	}, nil
+}
+
+// BlockARMS is block Jacobi with a multilevel ARMS subdomain solver — the
+// remaining pARMS combination the paper's setup offers (its Schur 2 uses
+// ARMS inside a Schur framework; this variant uses it directly, like
+// Block 2 uses ILUT).
+type BlockARMS struct {
+	solver *arms.Solver
+}
+
+// NewBlockARMS builds the ARMS block preconditioner for this rank's
+// subdomain.
+func NewBlockARMS(s *dsys.System, opt arms.Options) (*BlockARMS, error) {
+	sv, err := arms.New(s.OwnedBlock(), opt)
+	if err != nil {
+		return nil, fmt.Errorf("precond: Block ARMS rank %d: %w", s.Rank, err)
+	}
+	return &BlockARMS{solver: sv}, nil
+}
+
+// Apply performs the multilevel forward/backward sweep.
+func (b *BlockARMS) Apply(c *dist.Comm, z, r []float64) {
+	b.solver.Apply(z, r)
+	c.Compute(b.solver.SolveFlops())
+}
+
+// Name returns the preconditioner's notation.
+func (b *BlockARMS) Name() string { return string(KindBlockARMS) }
+
+// SetupFlops estimates the construction cost.
+func (b *BlockARMS) SetupFlops() float64 { return 2 * b.solver.SolveFlops() }
+
+// BlockPivot is block Jacobi with a column-pivoting ILUTP subdomain
+// factorization — the pARMS robustness option for subdomain blocks with
+// weak diagonals (strong convection, saddle-like couplings).
+type BlockPivot struct {
+	p *ilu.PivLU
+}
+
+// NewBlock2Pivot builds the pivoting block preconditioner for this rank's
+// subdomain.
+func NewBlock2Pivot(s *dsys.System, opt ilu.ILUTPOptions) (*BlockPivot, error) {
+	p, err := ilu.ILUTP(s.OwnedBlock(), opt)
+	if err != nil {
+		return nil, fmt.Errorf("precond: Block 2P rank %d: %w", s.Rank, err)
+	}
+	return &BlockPivot{p: p}, nil
+}
+
+// Apply performs the pivoted backward/forward solve.
+func (b *BlockPivot) Apply(c *dist.Comm, z, r []float64) {
+	b.p.Solve(z, r)
+	c.Compute(b.p.SolveFlops())
+}
+
+// Name returns the preconditioner's notation.
+func (b *BlockPivot) Name() string { return string(KindBlock2P) }
+
+// SetupFlops estimates the construction cost.
+func (b *BlockPivot) SetupFlops() float64 { return 2 * float64(b.p.LU.NNZ()) }
+
+// Swaps reports how many pivoting swaps the factorization performed.
+func (b *BlockPivot) Swaps() int { return b.p.Swaps }
+
+// BlockIC is block Jacobi with an incomplete Cholesky subdomain solver —
+// a symmetric positive definite preconditioner, the correct companion for
+// the distributed CG baseline on the paper's SPD test cases (1–4, 6).
+type BlockIC struct {
+	c *ilu.Chol
+}
+
+// NewBlockIC builds the IC(0) block preconditioner for this rank's
+// subdomain.
+func NewBlockIC(s *dsys.System) (*BlockIC, error) {
+	c, err := ilu.IC0(s.OwnedBlock())
+	if err != nil {
+		return nil, fmt.Errorf("precond: Block IC rank %d: %w", s.Rank, err)
+	}
+	return &BlockIC{c: c}, nil
+}
+
+// Apply performs the L·Lᵀ backward/forward solve.
+func (b *BlockIC) Apply(c *dist.Comm, z, r []float64) {
+	b.c.Solve(z, r)
+	c.Compute(b.c.SolveFlops())
+}
+
+// Name returns the preconditioner's notation.
+func (b *BlockIC) Name() string { return string(KindBlockIC) }
+
+// SetupFlops estimates the construction cost.
+func (b *BlockIC) SetupFlops() float64 { return 2 * float64(b.c.L.NNZ()) }

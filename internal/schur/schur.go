@@ -1,0 +1,168 @@
+// Package schur implements the distributed Schur-complement machinery of
+// the paper's §2: the global interface system (eq. 8)
+//
+//	S·y = g′,  S = blockdiag(S_i) + offdiag(E_ij),
+//
+// applied matrix-free across ranks. Each rank contributes its local rows:
+// S_i acting on its own interface unknowns (either implicitly through
+// C_i − E_i·B_i⁻¹·F_i with an approximate B-solve, or through an
+// explicitly assembled local Schur matrix), plus the E_ij couplings to
+// neighbors' interface unknowns, refreshed by an interface-level exchange.
+package schur
+
+import (
+	"fmt"
+
+	"parapre/internal/dist"
+	"parapre/internal/dsys"
+	"parapre/internal/ilu"
+	"parapre/internal/sparse"
+)
+
+// Iface is one rank's view of the global interface (Schur) system. The
+// interface vector has length N (this rank's share); external values from
+// neighbors extend it by the system's NExt slots.
+type Iface struct {
+	sys *dsys.System
+	n   int
+
+	// applyLocal computes y = S_i·x for this rank's diagonal block.
+	applyLocal func(y, x []float64)
+	localFlops float64
+
+	// eExt couples this rank's interface rows to external interface
+	// unknowns, in external-buffer order.
+	eExt *sparse.CSR
+
+	// sendMap translates dsys send indices (local subdomain numbering) to
+	// interface-vector indices.
+	sendMap map[int]int
+
+	ext []float64 // scratch, length NExt
+	tag int
+}
+
+const tagSchur = 200
+
+// NewImplicit builds the Schur 1 style operator: S_i is applied as
+// C_i·x − E_i·(B̃_i⁻¹·(F_i·x)), where B̃_i⁻¹ is the supplied approximate
+// solve with the internal block (one ILUT backward/forward per
+// application).
+func NewImplicit(s *dsys.System, bSolve *ilu.LU) (*Iface, error) {
+	c := s.BlockC()
+	e := s.BlockE()
+	f := s.BlockF()
+	nI := s.NIface()
+	tmpF := make([]float64, s.NInt)
+	tmpB := make([]float64, s.NInt)
+	op := &Iface{
+		sys:  s,
+		n:    nI,
+		eExt: s.BlockEExt(),
+		applyLocal: func(y, x []float64) {
+			c.MulVecTo(y, x)
+			if s.NInt > 0 {
+				f.MulVecTo(tmpF, x)
+				bSolve.Solve(tmpB, tmpF)
+				e.MulVecSub(y, tmpB)
+			}
+		},
+		localFlops: 2 * float64(c.NNZ()+e.NNZ()+f.NNZ()+bSolve.NNZ()),
+		tag:        tagSchur,
+	}
+	if err := op.buildSendMap(func(l int) (int, bool) {
+		if l < s.NInt {
+			return 0, false
+		}
+		return l - s.NInt, true
+	}); err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+// NewExplicit builds the operator from an explicitly assembled local
+// Schur matrix sLoc (n×n over this rank's interface unknowns) together
+// with the external coupling block eExt (n×NExt). toIface maps a dsys
+// local index (≥ NInt) to its interface-vector index; it defines how the
+// neighbors' requests are served. This is the form used by the Schur 2
+// (expanded Schur) preconditioner.
+func NewExplicit(s *dsys.System, sLoc, eExt *sparse.CSR, toIface func(local int) (int, bool)) (*Iface, error) {
+	if sLoc.Rows != sLoc.Cols {
+		return nil, fmt.Errorf("schur: explicit local Schur must be square, got %d×%d", sLoc.Rows, sLoc.Cols)
+	}
+	if eExt.Rows != sLoc.Rows || eExt.Cols != s.NExt() {
+		return nil, fmt.Errorf("schur: eExt is %d×%d, want %d×%d", eExt.Rows, eExt.Cols, sLoc.Rows, s.NExt())
+	}
+	op := &Iface{
+		sys:        s,
+		n:          sLoc.Rows,
+		eExt:       eExt,
+		applyLocal: func(y, x []float64) { sLoc.MulVecTo(y, x) },
+		localFlops: 2 * float64(sLoc.NNZ()),
+		tag:        tagSchur + 1,
+	}
+	if err := op.buildSendMap(toIface); err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+func (o *Iface) buildSendMap(toIface func(int) (int, bool)) error {
+	o.sendMap = make(map[int]int)
+	for _, nb := range o.sys.Neigh {
+		for _, l := range nb.SendIdx {
+			ii, ok := toIface(l)
+			if !ok {
+				return fmt.Errorf("schur: rank %d: neighbor %d requests local %d, which is not an interface unknown (structurally unsymmetric partition?)",
+					o.sys.Rank, nb.Rank, l)
+			}
+			o.sendMap[l] = ii
+		}
+	}
+	o.ext = make([]float64, o.sys.NExt())
+	return nil
+}
+
+// N returns the length of this rank's interface vector.
+func (o *Iface) N() int { return o.n }
+
+// Exchange refreshes the external interface values for the interface
+// vector x.
+func (o *Iface) Exchange(c *dist.Comm, x []float64) {
+	s := o.sys
+	buf := make([]float64, 0, 64)
+	for _, nb := range s.Neigh {
+		if len(nb.SendIdx) == 0 {
+			continue
+		}
+		buf = buf[:0]
+		for _, l := range nb.SendIdx {
+			buf = append(buf, x[o.sendMap[l]])
+		}
+		c.Send(nb.Rank, o.tag, buf)
+	}
+	for _, nb := range s.Neigh {
+		if nb.RecvLen == 0 {
+			continue
+		}
+		got := c.Recv(nb.Rank, o.tag)
+		copy(o.ext[nb.RecvOff:nb.RecvOff+nb.RecvLen], got)
+	}
+}
+
+// MatVec computes y = S·x (this rank's rows of the global interface
+// product), including the neighbor couplings.
+func (o *Iface) MatVec(c *dist.Comm, y, x []float64) {
+	o.Exchange(c, x)
+	o.applyLocal(y, x)
+	o.eExt.MulVecAdd(y, 1, o.ext)
+	c.Compute(o.localFlops + 2*float64(o.eExt.NNZ()))
+}
+
+// Dot is the global inner product over the distributed interface vectors.
+func (o *Iface) Dot(c *dist.Comm, x, y []float64) float64 {
+	local := sparse.Dot(x, y)
+	c.Compute(2 * float64(o.n))
+	return c.AllReduceSum(local)
+}

@@ -1,0 +1,99 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO is a coordinate-format assembly buffer. Finite-element assembly adds
+// many small contributions at repeated (i, j) positions; ToCSR sums
+// duplicates and produces a normalized CSR matrix.
+type COO struct {
+	Rows, Cols int
+	I, J       []int
+	V          []float64
+}
+
+// NewCOO returns an empty r×c assembly buffer with capacity for nnz
+// contributions.
+func NewCOO(r, c, nnz int) *COO {
+	return &COO{
+		Rows: r,
+		Cols: c,
+		I:    make([]int, 0, nnz),
+		J:    make([]int, 0, nnz),
+		V:    make([]float64, 0, nnz),
+	}
+}
+
+// Add records the contribution v at position (i, j). Duplicates are summed
+// by ToCSR. Add panics on out-of-range indices: an out-of-range assembly
+// index is always a programming error in the discretization.
+func (c *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= c.Rows || j < 0 || j >= c.Cols {
+		panic(fmt.Sprintf("sparse: COO.Add index (%d,%d) out of range for %d×%d", i, j, c.Rows, c.Cols))
+	}
+	c.I = append(c.I, i)
+	c.J = append(c.J, j)
+	c.V = append(c.V, v)
+}
+
+// Len returns the number of recorded contributions (including duplicates).
+func (c *COO) Len() int { return len(c.I) }
+
+// ToCSR converts the buffer to CSR, summing duplicate entries and dropping
+// exact zeros that result from cancellation only when drop is true.
+func (c *COO) ToCSR() *CSR {
+	// Bucket contributions by row using counting sort, then sort each row
+	// by column and merge duplicates. This is O(nnz log rowlen) and avoids
+	// a global sort of potentially tens of millions of triplets.
+	rowCount := make([]int, c.Rows+1)
+	for _, i := range c.I {
+		rowCount[i+1]++
+	}
+	for i := 0; i < c.Rows; i++ {
+		rowCount[i+1] += rowCount[i]
+	}
+	perm := make([]int, len(c.I))
+	next := append([]int(nil), rowCount...)
+	for k, i := range c.I {
+		perm[next[i]] = k
+		next[i]++
+	}
+
+	a := NewCSR(c.Rows, c.Cols, len(c.I))
+	type ent struct {
+		col int
+		val float64
+	}
+	var rowBuf []ent
+	for i := 0; i < c.Rows; i++ {
+		rowBuf = rowBuf[:0]
+		for p := rowCount[i]; p < rowCount[i+1]; p++ {
+			k := perm[p]
+			rowBuf = append(rowBuf, ent{c.J[k], c.V[k]})
+		}
+		sort.Slice(rowBuf, func(x, y int) bool { return rowBuf[x].col < rowBuf[y].col })
+		for k := 0; k < len(rowBuf); {
+			j := rowBuf[k].col
+			var s float64
+			for ; k < len(rowBuf) && rowBuf[k].col == j; k++ {
+				s += rowBuf[k].val
+			}
+			a.ColIdx = append(a.ColIdx, j)
+			a.Val = append(a.Val, s)
+		}
+		a.RowPtr[i+1] = len(a.ColIdx)
+	}
+	return a
+}
+
+// FromTriplets builds a CSR matrix directly from parallel triplet slices,
+// summing duplicates.
+func FromTriplets(rows, cols int, is, js []int, vs []float64) *CSR {
+	if len(is) != len(js) || len(js) != len(vs) {
+		panic("sparse: FromTriplets slices have different lengths")
+	}
+	c := &COO{Rows: rows, Cols: cols, I: is, J: js, V: vs}
+	return c.ToCSR()
+}

@@ -1,0 +1,305 @@
+// Package sparse provides the sparse and dense linear-algebra kernels that
+// every other package in this repository builds on: compressed sparse row
+// (CSR) matrices, coordinate (COO) assembly, dense blocks with LU solves,
+// permutations, and the vector kernels used by the Krylov solvers.
+//
+// The package is deliberately self-contained and allocation-conscious: the
+// hot kernels (MulVecTo, triangular solves in package ilu) never allocate,
+// so they can sit inside distributed solver loops.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a sparse matrix in compressed sparse row format.
+//
+// Row i owns the half-open index range RowPtr[i]:RowPtr[i+1] of ColIdx and
+// Val. Column indices within a row are strictly increasing after
+// normalization (FromCOO and all constructors in this package guarantee
+// it); SortRows restores the invariant after manual surgery.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+}
+
+// NewCSR returns an empty r×c matrix with capacity for nnz nonzeros.
+func NewCSR(r, c, nnz int) *CSR {
+	return &CSR{
+		Rows:   r,
+		Cols:   c,
+		RowPtr: make([]int, r+1),
+		ColIdx: make([]int, 0, nnz),
+		Val:    make([]float64, 0, nnz),
+	}
+}
+
+// Dims returns the matrix dimensions.
+func (a *CSR) Dims() (r, c int) { return a.Rows, a.Cols }
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.ColIdx) }
+
+// RowNNZ returns the number of stored entries in row i.
+func (a *CSR) RowNNZ(i int) int { return a.RowPtr[i+1] - a.RowPtr[i] }
+
+// Row returns the column-index and value slices of row i. The slices alias
+// the matrix storage; callers must not grow them.
+func (a *CSR) Row(i int) (cols []int, vals []float64) {
+	lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+	return a.ColIdx[lo:hi], a.Val[lo:hi]
+}
+
+// At returns the entry (i, j), or 0 if it is not stored. It binary-searches
+// the row and is intended for tests and assembly-time inspection, not for
+// inner loops.
+func (a *CSR) At(i, j int) float64 {
+	cols, vals := a.Row(i)
+	k := sort.SearchInts(cols, j)
+	if k < len(cols) && cols[k] == j {
+		return vals[k]
+	}
+	return 0
+}
+
+// SetExisting overwrites the stored entry (i, j) and reports whether the
+// entry exists in the sparsity pattern.
+func (a *CSR) SetExisting(i, j int, v float64) bool {
+	cols, vals := a.Row(i)
+	k := sort.SearchInts(cols, j)
+	if k < len(cols) && cols[k] == j {
+		vals[k] = v
+		return true
+	}
+	return false
+}
+
+// AddExisting adds v to the stored entry (i, j) and reports whether the
+// entry exists in the sparsity pattern.
+func (a *CSR) AddExisting(i, j int, v float64) bool {
+	cols, vals := a.Row(i)
+	k := sort.SearchInts(cols, j)
+	if k < len(cols) && cols[k] == j {
+		vals[k] += v
+		return true
+	}
+	return false
+}
+
+// Clone returns a deep copy of a.
+func (a *CSR) Clone() *CSR {
+	b := &CSR{
+		Rows:   a.Rows,
+		Cols:   a.Cols,
+		RowPtr: append([]int(nil), a.RowPtr...),
+		ColIdx: append([]int(nil), a.ColIdx...),
+		Val:    append([]float64(nil), a.Val...),
+	}
+	return b
+}
+
+// MulVec returns y = A·x as a fresh slice.
+func (a *CSR) MulVec(x []float64) []float64 {
+	y := make([]float64, a.Rows)
+	a.MulVecTo(y, x)
+	return y
+}
+
+// MulVecTo computes y = A·x without allocating. x must have length Cols
+// and y length Rows; y and x must not alias.
+func (a *CSR) MulVecTo(y, x []float64) {
+	if len(x) < a.Cols || len(y) < a.Rows {
+		panic(fmt.Sprintf("sparse: MulVecTo dimension mismatch: A is %d×%d, len(x)=%d, len(y)=%d",
+			a.Rows, a.Cols, len(x), len(y)))
+	}
+	for i := 0; i < a.Rows; i++ {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * x[a.ColIdx[k]]
+		}
+		y[i] = s
+	}
+}
+
+// MulVecAdd computes y += alpha * A·x without allocating.
+func (a *CSR) MulVecAdd(y []float64, alpha float64, x []float64) {
+	for i := 0; i < a.Rows; i++ {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * x[a.ColIdx[k]]
+		}
+		y[i] += alpha * s
+	}
+}
+
+// MulVecSub computes y -= A·x without allocating. It is the residual-update
+// kernel used by the Schur-complement right-hand-side construction.
+func (a *CSR) MulVecSub(y, x []float64) {
+	for i := 0; i < a.Rows; i++ {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * x[a.ColIdx[k]]
+		}
+		y[i] -= s
+	}
+}
+
+// Transpose returns Aᵀ with sorted rows.
+func (a *CSR) Transpose() *CSR {
+	t := &CSR{
+		Rows:   a.Cols,
+		Cols:   a.Rows,
+		RowPtr: make([]int, a.Cols+1),
+		ColIdx: make([]int, a.NNZ()),
+		Val:    make([]float64, a.NNZ()),
+	}
+	// Count entries per column of a.
+	for _, j := range a.ColIdx {
+		t.RowPtr[j+1]++
+	}
+	for i := 0; i < a.Cols; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	next := append([]int(nil), t.RowPtr...)
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.ColIdx[k]
+			p := next[j]
+			t.ColIdx[p] = i
+			t.Val[p] = a.Val[k]
+			next[j]++
+		}
+	}
+	return t
+}
+
+// Diagonal returns a copy of the main diagonal (missing entries are 0).
+func (a *CSR) Diagonal() []float64 {
+	n := a.Rows
+	if a.Cols < n {
+		n = a.Cols
+	}
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cols, vals := a.Row(i)
+		k := sort.SearchInts(cols, i)
+		if k < len(cols) && cols[k] == i {
+			d[i] = vals[k]
+		}
+	}
+	return d
+}
+
+// Scale multiplies every stored entry by s.
+func (a *CSR) Scale(s float64) {
+	for k := range a.Val {
+		a.Val[k] *= s
+	}
+}
+
+// SortRows sorts the column indices within each row, keeping values
+// aligned. Constructors produce sorted rows already; this is for callers
+// that build RowPtr/ColIdx/Val by hand.
+func (a *CSR) SortRows() {
+	for i := 0; i < a.Rows; i++ {
+		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		cols := a.ColIdx[lo:hi]
+		vals := a.Val[lo:hi]
+		sort.Sort(&rowSorter{cols, vals})
+	}
+}
+
+type rowSorter struct {
+	cols []int
+	vals []float64
+}
+
+func (r *rowSorter) Len() int           { return len(r.cols) }
+func (r *rowSorter) Less(i, j int) bool { return r.cols[i] < r.cols[j] }
+func (r *rowSorter) Swap(i, j int) {
+	r.cols[i], r.cols[j] = r.cols[j], r.cols[i]
+	r.vals[i], r.vals[j] = r.vals[j], r.vals[i]
+}
+
+// CheckValid verifies the CSR structural invariants: monotone RowPtr,
+// in-range sorted unique column indices. It returns a descriptive error for
+// the first violation found, or nil.
+func (a *CSR) CheckValid() error {
+	if len(a.RowPtr) != a.Rows+1 {
+		return fmt.Errorf("sparse: RowPtr has length %d, want %d", len(a.RowPtr), a.Rows+1)
+	}
+	if a.RowPtr[0] != 0 {
+		return fmt.Errorf("sparse: RowPtr[0] = %d, want 0", a.RowPtr[0])
+	}
+	if a.RowPtr[a.Rows] != len(a.ColIdx) || len(a.ColIdx) != len(a.Val) {
+		return fmt.Errorf("sparse: storage lengths inconsistent: RowPtr[end]=%d len(ColIdx)=%d len(Val)=%d",
+			a.RowPtr[a.Rows], len(a.ColIdx), len(a.Val))
+	}
+	for i := 0; i < a.Rows; i++ {
+		if a.RowPtr[i] > a.RowPtr[i+1] {
+			return fmt.Errorf("sparse: RowPtr not monotone at row %d", i)
+		}
+		prev := -1
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.ColIdx[k]
+			if j < 0 || j >= a.Cols {
+				return fmt.Errorf("sparse: column %d out of range in row %d", j, i)
+			}
+			if j <= prev {
+				return fmt.Errorf("sparse: row %d columns not strictly increasing (%d after %d)", i, j, prev)
+			}
+			prev = j
+		}
+	}
+	return nil
+}
+
+// Dense expands the matrix to a dense representation. For tests and small
+// coarse-grid systems only.
+func (a *CSR) Dense() *Dense {
+	d := NewDense(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			d.Set(i, a.ColIdx[k], a.Val[k])
+		}
+	}
+	return d
+}
+
+// Equal reports whether a and b have identical dimensions, patterns and
+// values.
+func (a *CSR) Equal(b *CSR) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for k := range a.ColIdx {
+		if a.ColIdx[k] != b.ColIdx[k] || a.Val[k] != b.Val[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// String returns a compact summary, not the full contents.
+func (a *CSR) String() string {
+	return fmt.Sprintf("CSR{%d×%d, nnz=%d}", a.Rows, a.Cols, a.NNZ())
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *CSR {
+	a := NewCSR(n, n, n)
+	for i := 0; i < n; i++ {
+		a.RowPtr[i+1] = i + 1
+		a.ColIdx = append(a.ColIdx, i)
+		a.Val = append(a.Val, 1)
+	}
+	return a
+}

@@ -1,0 +1,150 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix. It backs the small systems in this
+// repository: coarse-grid corrections, Hessenberg least-squares inside
+// GMRES (via the krylov package), and test oracles for the sparse kernels.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewDense returns a zeroed r×c dense matrix.
+func NewDense(r, c int) *Dense {
+	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// At returns entry (i, j).
+func (d *Dense) At(i, j int) float64 { return d.Data[i*d.Cols+j] }
+
+// Set assigns entry (i, j).
+func (d *Dense) Set(i, j int, v float64) { d.Data[i*d.Cols+j] = v }
+
+// Add adds v to entry (i, j).
+func (d *Dense) Add(i, j int, v float64) { d.Data[i*d.Cols+j] += v }
+
+// Clone returns a deep copy.
+func (d *Dense) Clone() *Dense {
+	return &Dense{Rows: d.Rows, Cols: d.Cols, Data: append([]float64(nil), d.Data...)}
+}
+
+// MulVec returns y = D·x.
+func (d *Dense) MulVec(x []float64) []float64 {
+	y := make([]float64, d.Rows)
+	d.MulVecTo(y, x)
+	return y
+}
+
+// MulVecTo computes y = D·x without allocating.
+func (d *Dense) MulVecTo(y, x []float64) {
+	for i := 0; i < d.Rows; i++ {
+		row := d.Data[i*d.Cols : (i+1)*d.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// LU is an LU factorization with partial pivoting of a square dense matrix.
+type LU struct {
+	n    int
+	lu   []float64 // packed L (unit diagonal, below) and U (on/above)
+	piv  []int
+	sign int
+}
+
+// Factor computes the LU factorization of square d with partial pivoting.
+// It returns an error when a pivot underflows, i.e. the matrix is singular
+// to working precision.
+func (d *Dense) Factor() (*LU, error) {
+	if d.Rows != d.Cols {
+		return nil, fmt.Errorf("sparse: LU of non-square %d×%d matrix", d.Rows, d.Cols)
+	}
+	n := d.Rows
+	f := &LU{n: n, lu: append([]float64(nil), d.Data...), piv: make([]int, n), sign: 1}
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Pivot search in column k.
+		p, maxAbs := k, math.Abs(f.lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(f.lu[i*n+k]); a > maxAbs {
+				p, maxAbs = i, a
+			}
+		}
+		if maxAbs == 0 {
+			return nil, fmt.Errorf("sparse: singular matrix at pivot %d", k)
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				f.lu[k*n+j], f.lu[p*n+j] = f.lu[p*n+j], f.lu[k*n+j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+			f.sign = -f.sign
+		}
+		pivot := f.lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := f.lu[i*n+k] / pivot
+			f.lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				f.lu[i*n+j] -= m * f.lu[k*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b in place of a fresh slice, where A is the factored
+// matrix.
+func (f *LU) Solve(b []float64) []float64 {
+	if len(b) != f.n {
+		panic(fmt.Sprintf("sparse: LU.Solve length %d, want %d", len(b), f.n))
+	}
+	n := f.n
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit-diagonal L.
+	for i := 1; i < n; i++ {
+		var s float64
+		for j := 0; j < i; j++ {
+			s += f.lu[i*n+j] * x[j]
+		}
+		x[i] -= s
+	}
+	// Backward substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += f.lu[i*n+j] * x[j]
+		}
+		x[i] = (x[i] - s) / f.lu[i*n+i]
+	}
+	return x
+}
+
+// SolveTo solves A·x = b into x without allocating beyond the receiver.
+func (f *LU) SolveTo(x, b []float64) {
+	tmp := f.Solve(b)
+	copy(x, tmp)
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu[i*f.n+i]
+	}
+	return d
+}

@@ -1,0 +1,125 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUSolveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(20)
+		d := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				d.Set(i, j, rng.NormFloat64())
+			}
+			d.Add(i, i, float64(n)) // diagonally dominant => well conditioned
+		}
+		xTrue := randVec(rng, n)
+		b := d.MulVec(xTrue)
+		f, err := d.Factor()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		x := f.Solve(b)
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	d := NewDense(3, 3)
+	d.Set(0, 0, 1)
+	d.Set(1, 0, 2) // rows 1,2 are multiples of row 0's column pattern => column 1,2 all zero
+	if _, err := d.Factor(); err == nil {
+		t.Fatal("Factor accepted a singular matrix")
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	if _, err := NewDense(2, 3).Factor(); err == nil {
+		t.Fatal("Factor accepted a non-square matrix")
+	}
+}
+
+func TestLUPivotingNeeded(t *testing.T) {
+	// Zero in the (0,0) position forces a row swap.
+	d := NewDense(2, 2)
+	d.Set(0, 1, 1)
+	d.Set(1, 0, 1)
+	f, err := d.Factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve([]float64{3, 5})
+	if math.Abs(x[0]-5) > 1e-14 || math.Abs(x[1]-3) > 1e-14 {
+		t.Fatalf("Solve = %v, want [5 3]", x)
+	}
+	if got := f.Det(); math.Abs(got+1) > 1e-14 {
+		t.Fatalf("Det = %v, want -1", got)
+	}
+}
+
+func TestLUDeterminantProperty(t *testing.T) {
+	// det(cI) = c^n.
+	f := func(c float64, nRaw uint8) bool {
+		if math.IsNaN(c) || math.IsInf(c, 0) || math.Abs(c) < 1e-3 || math.Abs(c) > 1e3 {
+			return true
+		}
+		n := 1 + int(nRaw%5)
+		d := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			d.Set(i, i, c)
+		}
+		lu, err := d.Factor()
+		if err != nil {
+			return false
+		}
+		want := math.Pow(c, float64(n))
+		return math.Abs(lu.Det()-want) <= 1e-9*math.Abs(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseCloneIndependent(t *testing.T) {
+	d := NewDense(2, 2)
+	d.Set(0, 0, 1)
+	e := d.Clone()
+	e.Set(0, 0, 9)
+	if d.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestSolveToMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 7
+	d := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d.Set(i, j, rng.NormFloat64())
+		}
+		d.Add(i, i, 10)
+	}
+	f, err := d.Factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randVec(rng, n)
+	x1 := f.Solve(b)
+	x2 := make([]float64, n)
+	f.SolveTo(x2, b)
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatal("SolveTo differs from Solve")
+		}
+	}
+}

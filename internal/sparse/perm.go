@@ -1,0 +1,123 @@
+package sparse
+
+import "fmt"
+
+// Perm is a permutation of {0, …, n−1}. p[i] = j means "new position i
+// holds old index j", i.e. applying p to a vector x yields y[i] = x[p[i]].
+type Perm []int
+
+// IdentityPerm returns the identity permutation of length n.
+func IdentityPerm(n int) Perm {
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Inverse returns q with q[p[i]] = i.
+func (p Perm) Inverse() Perm {
+	q := make(Perm, len(p))
+	for i, v := range p {
+		q[v] = i
+	}
+	return q
+}
+
+// IsValid reports whether p is a bijection on {0,…,len(p)−1}.
+func (p Perm) IsValid() bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// ApplyVec gathers x through the permutation: y[i] = x[p[i]].
+func (p Perm) ApplyVec(x []float64) []float64 {
+	y := make([]float64, len(p))
+	for i, v := range p {
+		y[i] = x[v]
+	}
+	return y
+}
+
+// ApplyVecTo gathers x through the permutation into y.
+func (p Perm) ApplyVecTo(y, x []float64) {
+	for i, v := range p {
+		y[i] = x[v]
+	}
+}
+
+// ScatterVecTo scatters x back through the permutation: y[p[i]] = x[i].
+// It inverts ApplyVecTo.
+func (p Perm) ScatterVecTo(y, x []float64) {
+	for i, v := range p {
+		y[v] = x[i]
+	}
+}
+
+// PermuteSym returns P·A·Pᵀ for the symmetric permutation defined by p:
+// entry (i, j) of the result is A(p[i], p[j]). Rows of the result are
+// sorted.
+func PermuteSym(a *CSR, p Perm) *CSR {
+	if a.Rows != a.Cols || len(p) != a.Rows {
+		panic(fmt.Sprintf("sparse: PermuteSym needs square matrix and matching perm (A %d×%d, len(p)=%d)",
+			a.Rows, a.Cols, len(p)))
+	}
+	inv := p.Inverse()
+	b := NewCSR(a.Rows, a.Cols, a.NNZ())
+	for i := 0; i < b.Rows; i++ {
+		old := p[i]
+		cols, vals := a.Row(old)
+		start := len(b.ColIdx)
+		for k, j := range cols {
+			b.ColIdx = append(b.ColIdx, inv[j])
+			b.Val = append(b.Val, vals[k])
+		}
+		b.RowPtr[i+1] = len(b.ColIdx)
+		sort2(b.ColIdx[start:], b.Val[start:])
+	}
+	return b
+}
+
+// sort2 sorts cols ascending, moving vals along. Insertion sort: rows are
+// short (tens of entries at most in FEM matrices).
+func sort2(cols []int, vals []float64) {
+	for i := 1; i < len(cols); i++ {
+		c, v := cols[i], vals[i]
+		j := i - 1
+		for j >= 0 && cols[j] > c {
+			cols[j+1], vals[j+1] = cols[j], vals[j]
+			j--
+		}
+		cols[j+1], vals[j+1] = c, v
+	}
+}
+
+// Extract returns the submatrix A(rows, cols) in CSR form, where rows and
+// cols are index lists into A. Entry (i, j) of the result is
+// A(rows[i], cols[j]). Columns of A not listed in cols are dropped.
+func Extract(a *CSR, rows, cols []int) *CSR {
+	colMap := make(map[int]int, len(cols))
+	for newJ, oldJ := range cols {
+		colMap[oldJ] = newJ
+	}
+	b := NewCSR(len(rows), len(cols), 0)
+	for i, oldI := range rows {
+		cs, vs := a.Row(oldI)
+		start := len(b.ColIdx)
+		for k, j := range cs {
+			if nj, ok := colMap[j]; ok {
+				b.ColIdx = append(b.ColIdx, nj)
+				b.Val = append(b.Val, vs[k])
+			}
+		}
+		b.RowPtr[i+1] = len(b.ColIdx)
+		sort2(b.ColIdx[start:], b.Val[start:])
+	}
+	return b
+}

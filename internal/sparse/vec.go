@@ -1,0 +1,82 @@
+package sparse
+
+import "math"
+
+// Vector kernels. These are the three Krylov kernel families the paper
+// lists in §1: vector update, inner product, and (in csr.go) matrix-vector
+// product. All operate on raw []float64 so the distributed layer can reuse
+// them on local slices.
+
+// Dot returns the inner product xᵀy.
+func Dot(x, y []float64) float64 {
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	// Scaled sum of squares for overflow safety on extreme inputs.
+	var scale, ssq float64 = 0, 1
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			ssq = 1 + ssq*(scale/a)*(scale/a)
+			scale = a
+		} else {
+			ssq += (a / scale) * (a / scale)
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormInf returns the maximum-magnitude entry of x.
+func NormInf(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Axpy computes y += a·x.
+func Axpy(a float64, x, y []float64) {
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// Scal computes x *= a.
+func Scal(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// CopyTo copies src into dst (lengths must match).
+func CopyTo(dst, src []float64) {
+	copy(dst, src)
+}
+
+// Zero clears x.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Sub computes z = x − y into a fresh slice.
+func Sub(x, y []float64) []float64 {
+	z := make([]float64, len(x))
+	for i := range x {
+		z[i] = x[i] - y[i]
+	}
+	return z
+}

@@ -1,0 +1,96 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDotSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(64)
+		x, y := randVec(rng, n), randVec(rng, n)
+		return Dot(x, y) == Dot(y, x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNorm2MatchesDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 30; trial++ {
+		x := randVec(rng, 1+rng.Intn(100))
+		want := math.Sqrt(Dot(x, x))
+		got := Norm2(x)
+		if math.Abs(got-want) > 1e-12*(1+want) {
+			t.Fatalf("Norm2 = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNorm2OverflowSafety(t *testing.T) {
+	x := []float64{1e300, 1e300}
+	got := Norm2(x)
+	want := 1e300 * math.Sqrt2
+	if math.IsInf(got, 0) || math.Abs(got-want) > 1e288 {
+		t.Fatalf("Norm2 overflow: got %v, want %v", got, want)
+	}
+	if Norm2(nil) != 0 {
+		t.Fatal("Norm2(nil) != 0")
+	}
+	if Norm2([]float64{0, 0}) != 0 {
+		t.Fatal("Norm2 of zeros != 0")
+	}
+}
+
+func TestNormInf(t *testing.T) {
+	if got := NormInf([]float64{1, -7, 3}); got != 7 {
+		t.Fatalf("NormInf = %v, want 7", got)
+	}
+	if NormInf(nil) != 0 {
+		t.Fatal("NormInf(nil) != 0")
+	}
+}
+
+func TestAxpyScalZeroSub(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{10, 20, 30}
+	Axpy(2, x, y)
+	for i, want := range []float64{12, 24, 36} {
+		if y[i] != want {
+			t.Fatalf("Axpy[%d] = %v, want %v", i, y[i], want)
+		}
+	}
+	Scal(0.5, y)
+	if y[0] != 6 {
+		t.Fatalf("Scal = %v", y)
+	}
+	z := Sub(y, []float64{1, 2, 3})
+	if z[0] != 5 || z[1] != 10 || z[2] != 15 {
+		t.Fatalf("Sub = %v", z)
+	}
+	Zero(y)
+	if y[0] != 0 || y[2] != 0 {
+		t.Fatal("Zero failed")
+	}
+	dst := make([]float64, 3)
+	CopyTo(dst, z)
+	if dst[2] != 15 {
+		t.Fatal("CopyTo failed")
+	}
+}
+
+func TestCauchySchwarzProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		x, y := randVec(rng, n), randVec(rng, n)
+		return math.Abs(Dot(x, y)) <= Norm2(x)*Norm2(y)*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package parapre_test
+
+import (
+	"bytes"
+	"testing"
+
+	"parapre"
+)
+
+func TestPublicAPIQuickstartPath(t *testing.T) {
+	prob := parapre.BuildCase("tc1-poisson2d", 17)
+	cfg := parapre.DefaultConfig(4, parapre.Schur1)
+	cfg.KeepX = true
+	res, err := parapre.Solve(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("quickstart did not converge: %+v", res)
+	}
+	d, err := parapre.Verify(prob, res.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 2e-4 {
+		t.Fatalf("solution error %v", d)
+	}
+}
+
+func TestPublicAPICases(t *testing.T) {
+	cs := parapre.Cases()
+	if len(cs) != 7 { // the paper's six plus the jump-coefficient extension
+		t.Fatalf("%d cases, want 7", len(cs))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BuildCase of unknown name did not panic")
+		}
+	}()
+	parapre.BuildCase("not-a-case", 10)
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	if got := len(parapre.Experiments()); got != 12 { // 11 paper tables + jump extension
+		t.Fatalf("%d experiments, want 12", got)
+	}
+	e, err := parapre.ExperimentByID("tc6-cluster")
+	if err != nil || e.CaseName != "tc6-elasticity" {
+		t.Fatalf("ExperimentByID: %+v %v", e, err)
+	}
+}
+
+func TestPublicAPIMachines(t *testing.T) {
+	if parapre.LinuxCluster().Name != "LinuxCluster" || parapre.Origin3800().Name != "Origin3800" {
+		t.Fatal("machine constructors broken")
+	}
+	if parapre.LinuxCluster().Latency <= parapre.Origin3800().Latency {
+		t.Fatal("cluster should have higher latency than the Origin interconnect")
+	}
+}
+
+func TestPublicAPIMatrixMarket(t *testing.T) {
+	prob := parapre.BuildCase("tc1-poisson2d", 9)
+	var buf bytes.Buffer
+	if err := parapre.WriteMatrixMarket(&buf, prob.A); err != nil {
+		t.Fatal(err)
+	}
+	a, err := parapre.ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(prob.A) {
+		t.Fatal("matrix market round trip lost data")
+	}
+	// Mesh-less solve through the public API.
+	p2 := &parapre.Problem{Name: "mm", A: a, B: prob.B}
+	res, err := parapre.Solve(p2, parapre.DefaultConfig(2, parapre.Block2))
+	if err != nil || !res.Converged {
+		t.Fatalf("mesh-less public solve: %v %+v", err, res)
+	}
+}
