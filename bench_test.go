@@ -7,12 +7,14 @@
 package parapre_test
 
 import (
+	"runtime"
 	"strconv"
 	"testing"
 
 	"parapre"
 	"parapre/internal/bench"
 	"parapre/internal/ilu"
+	"parapre/internal/par"
 	"parapre/internal/precond"
 )
 
@@ -32,17 +34,19 @@ func benchTable(b *testing.B, id string, size int, ps []int) {
 			b.Fatal(err)
 		}
 		var iters int
-		var modelTime float64
+		var modelTime, wallTime float64
 		for _, t := range tables {
 			for _, r := range t.Rows {
 				for _, c := range r.Cells {
 					iters += c.Iters
 					modelTime += c.Time
+					wallTime += c.Wall
 				}
 			}
 		}
 		b.ReportMetric(float64(iters), "iters")
 		b.ReportMetric(modelTime, "model-s")
+		b.ReportMetric(wallTime, "wall-s")
 	}
 }
 
@@ -301,6 +305,41 @@ func BenchmarkAblationWeakScaling(b *testing.B) {
 				b.ReportMetric(float64(res.Iterations), "iters")
 				b.ReportMetric(res.SetupTime+res.SolveTime, "model-s")
 			}
+		})
+	}
+}
+
+// BenchmarkEndToEndWorkers regenerates one paper table with the
+// shared-memory worker pool pinned to 1 and to GOMAXPROCS: the modeled
+// times and iteration counts are identical by construction (the kernels
+// are bit-deterministic), so the only thing that moves is the measured
+// wall-clock per op.
+func BenchmarkEndToEndWorkers(b *testing.B) {
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run("workers="+strconv.Itoa(w), func(b *testing.B) {
+			prev := par.SetWorkers(w)
+			defer par.SetWorkers(prev)
+			e, err := bench.ByID("tc1-cluster")
+			if err != nil {
+				b.Fatal(err)
+			}
+			e.Ps = []int{4}
+			b.ResetTimer()
+			var iters int
+			for i := 0; i < b.N; i++ {
+				tables, err := e.Run(65)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, t := range tables {
+					for _, r := range t.Rows {
+						for _, c := range r.Cells {
+							iters += c.Iters
+						}
+					}
+				}
+			}
+			b.ReportMetric(float64(iters)/float64(b.N), "iters")
 		})
 	}
 }

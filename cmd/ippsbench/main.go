@@ -9,6 +9,13 @@
 //	ippsbench -exp tc1-cluster
 //	ippsbench -exp tc1-cluster -size 257 -procs 2,4,8,16,32
 //	ippsbench -all -size 65
+//	ippsbench -exp tc1-cluster -workers 8 -json
+//
+// -workers pins the shared-memory worker pool (default: GOMAXPROCS, or
+// the PARAPRE_WORKERS environment variable); iteration counts and modeled
+// times are identical at every setting. -json additionally writes all
+// measurements — iteration counts, modeled time, and measured wall-clock
+// time — to BENCH_<date>.json.
 package main
 
 import (
@@ -20,18 +27,25 @@ import (
 	"time"
 
 	"parapre/internal/bench"
+	"parapre/internal/par"
 )
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list experiments and exit")
-		exp   = flag.String("exp", "", "experiment id to run (see -list)")
-		all   = flag.Bool("all", false, "run every experiment")
-		size  = flag.Int("size", 0, "override the grid resolution parameter (0 = experiment default)")
-		procs = flag.String("procs", "", "override the processor counts, comma separated (e.g. 2,4,8)")
-		md    = flag.Bool("markdown", false, "emit GitHub-flavored Markdown tables")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "", "experiment id to run (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		size    = flag.Int("size", 0, "override the grid resolution parameter (0 = experiment default)")
+		procs   = flag.String("procs", "", "override the processor counts, comma separated (e.g. 2,4,8)")
+		md      = flag.Bool("markdown", false, "emit GitHub-flavored Markdown tables")
+		jsonOut = flag.Bool("json", false, "also write results to BENCH_<date>.json")
+		workers = flag.Int("workers", 0, "shared-memory worker count (0 = GOMAXPROCS / PARAPRE_WORKERS)")
 	)
 	flag.Parse()
+
+	if *workers > 0 {
+		par.SetWorkers(*workers)
+	}
 
 	if *list {
 		fmt.Println("id            table")
@@ -66,6 +80,7 @@ func main() {
 		}
 	}
 
+	var allTables []bench.Table
 	for _, e := range toRun {
 		start := time.Now()
 		tables, err := e.Run(*size)
@@ -79,7 +94,17 @@ func main() {
 				t.Write(os.Stdout)
 			}
 		}
+		allTables = append(allTables, tables...)
 		fmt.Printf("[%s completed in %.1fs real time]\n\n", e.ID, time.Since(start).Seconds())
+	}
+
+	if *jsonOut {
+		date := time.Now().Format("2006-01-02")
+		path := "BENCH_" + date + ".json"
+		if err := bench.NewReport(date, allTables).WriteFile(path); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (workers=%d)\n", path, par.Workers())
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"parapre/internal/cases"
 	"parapre/internal/core"
@@ -20,7 +21,8 @@ import (
 // Cell is one (preconditioner, P) measurement.
 type Cell struct {
 	Iters     int
-	Time      float64 // modeled seconds (setup + solve)
+	Time      float64 // modeled seconds (setup + solve) on the virtual machine
+	Wall      float64 // measured wall-clock seconds of the real solve
 	Converged bool
 }
 
@@ -33,6 +35,7 @@ type Row struct {
 
 // Table is one regenerated paper table.
 type Table struct {
+	ID      string // experiment id the table came from
 	Title   string
 	Columns []string // preconditioner names
 	Rows    []Row
@@ -178,7 +181,7 @@ func (e Experiment) Run(size int) ([]Table, error) {
 }
 
 func (e Experiment) runAlgebraic(prob *core.Problem, scheme core.PartitionScheme) (Table, error) {
-	t := Table{Title: e.Title, N: prob.A.Rows}
+	t := Table{ID: e.ID, Title: e.Title, N: prob.A.Rows}
 	for _, k := range e.Preconds {
 		t.Columns = append(t.Columns, string(k))
 	}
@@ -188,6 +191,7 @@ func (e Experiment) runAlgebraic(prob *core.Problem, scheme core.PartitionScheme
 			cfg := core.DefaultConfig(p, k)
 			cfg.Machine = e.Machine()
 			cfg.Scheme = scheme
+			start := time.Now()
 			res, err := core.Solve(prob, cfg)
 			if err != nil {
 				return t, fmt.Errorf("%s/%s P=%d: %w", e.ID, k, p, err)
@@ -195,6 +199,7 @@ func (e Experiment) runAlgebraic(prob *core.Problem, scheme core.PartitionScheme
 			row.Cells = append(row.Cells, Cell{
 				Iters:     res.Iterations,
 				Time:      res.SetupTime + res.SolveTime,
+				Wall:      time.Since(start).Seconds(),
 				Converged: res.Converged,
 			})
 		}
@@ -204,7 +209,7 @@ func (e Experiment) runAlgebraic(prob *core.Problem, scheme core.PartitionScheme
 }
 
 func (e Experiment) runSchwarz(prob *core.Problem, size int) (Table, error) {
-	t := Table{Title: e.Title, N: prob.A.Rows}
+	t := Table{ID: e.ID, Title: e.Title, N: prob.A.Rows}
 	for _, cgc := range e.SchwarzCGC {
 		if cgc {
 			t.Columns = append(t.Columns, "AddSchwarz+CGC")
@@ -220,6 +225,7 @@ func (e Experiment) runSchwarz(prob *core.Problem, size int) (Table, error) {
 			cfg.Machine = e.Machine()
 			sw := precond.DefaultSchwarz(size, px, py, cgc)
 			cfg.Schwarz = &sw
+			start := time.Now()
 			res, err := core.Solve(prob, cfg)
 			if err != nil {
 				return t, fmt.Errorf("%s cgc=%v P=%d: %w", e.ID, cgc, p, err)
@@ -227,6 +233,7 @@ func (e Experiment) runSchwarz(prob *core.Problem, size int) (Table, error) {
 			row.Cells = append(row.Cells, Cell{
 				Iters:     res.Iterations,
 				Time:      res.SetupTime + res.SolveTime,
+				Wall:      time.Since(start).Seconds(),
 				Converged: res.Converged,
 			})
 		}

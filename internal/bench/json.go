@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+
+	"parapre/internal/par"
+)
+
+// JSON report of one ippsbench run. Every cell carries both clocks: the
+// modeled (virtual-machine) time the paper tabulates and the measured
+// wall-clock time of the actual solve on this host, so speedups of the
+// shared-memory kernel layer can be tracked per commit.
+
+// ReportCell is one (preconditioner, P) measurement in the JSON report.
+type ReportCell struct {
+	Precond   string  `json:"precond"`
+	Iters     int     `json:"iters"`
+	ModelTime float64 `json:"model_time_s"`
+	WallTime  float64 `json:"wall_time_s"`
+	Converged bool    `json:"converged"`
+}
+
+// ReportRow groups the cells of one processor count.
+type ReportRow struct {
+	P     int          `json:"p"`
+	Cells []ReportCell `json:"cells"`
+}
+
+// ReportTable is one regenerated table.
+type ReportTable struct {
+	ID    string      `json:"id"`
+	Title string      `json:"title"`
+	N     int         `json:"n"`
+	Rows  []ReportRow `json:"rows"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Date       string        `json:"date"`
+	Workers    int           `json:"workers"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Tables     []ReportTable `json:"tables"`
+}
+
+// NewReport converts regenerated tables into a report stamped with the
+// given date and the current shared-memory configuration.
+func NewReport(date string, tables []Table) *Report {
+	rep := &Report{Date: date, Workers: par.Workers(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, t := range tables {
+		rt := ReportTable{ID: t.ID, Title: t.Title, N: t.N}
+		for _, r := range t.Rows {
+			rr := ReportRow{P: r.P}
+			for ci, c := range r.Cells {
+				name := ""
+				if ci < len(t.Columns) {
+					name = t.Columns[ci]
+				}
+				rr.Cells = append(rr.Cells, ReportCell{
+					Precond:   name,
+					Iters:     c.Iters,
+					ModelTime: c.Time,
+					WallTime:  c.Wall,
+					Converged: c.Converged,
+				})
+			}
+			rt.Rows = append(rt.Rows, rr)
+		}
+		rep.Tables = append(rep.Tables, rt)
+	}
+	return rep
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -17,6 +17,7 @@ import (
 	"parapre/internal/grid"
 	"parapre/internal/ilu"
 	"parapre/internal/krylov"
+	"parapre/internal/par"
 	"parapre/internal/partition"
 	"parapre/internal/precond"
 	"parapre/internal/sparse"
@@ -201,18 +202,13 @@ func Solve(p *Problem, cfg Config) (*Result, error) {
 	}
 	systems := dsys.Distribute(p.A, p.B, part, cfg.P)
 
-	// Additive Schwarz needs sequential pre-wiring across ranks.
+	// Additive Schwarz: per-rank setup is independent and runs on the
+	// worker pool; only the cross-rank halo wiring is sequential.
 	var schwarz []*precond.Schwarz
 	if cfg.Schwarz != nil {
-		schwarz = make([]*precond.Schwarz, cfg.P)
-		for r := 0; r < cfg.P; r++ {
-			sw, err := precond.NewSchwarz(systems[r], p.A, *cfg.Schwarz)
-			if err != nil {
-				return nil, err
-			}
-			schwarz[r] = sw
-		}
-		if err := precond.WireHalo(schwarz); err != nil {
+		var err error
+		schwarz, err = buildSchwarz(systems, p.A, *cfg.Schwarz)
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -332,6 +328,27 @@ func Solve(p *Problem, cfg Config) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// buildSchwarz constructs every rank's additive Schwarz preconditioner
+// concurrently (each build reads only the shared matrix and its own
+// subdomain) and then wires the halo exchanges serially.
+func buildSchwarz(systems []*dsys.System, a *sparse.CSR, opt precond.SchwarzOptions) ([]*precond.Schwarz, error) {
+	p := len(systems)
+	schwarz := make([]*precond.Schwarz, p)
+	errs := make([]error, p)
+	par.Run(p, func(r int) {
+		schwarz[r], errs[r] = precond.NewSchwarz(systems[r], a, opt)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := precond.WireHalo(schwarz); err != nil {
+		return nil, err
+	}
+	return schwarz, nil
 }
 
 // setupCost estimates the flop count of building pc (heuristic, in solve

@@ -7,6 +7,7 @@ import (
 	"parapre/internal/dsys"
 	"parapre/internal/ilu"
 	"parapre/internal/krylov"
+	"parapre/internal/par"
 	"parapre/internal/precond"
 	"parapre/internal/sparse"
 )
@@ -16,7 +17,8 @@ import (
 // different right-hand sides, the pattern of implicit time stepping
 // (Test Case 4 runs one step; a real simulation runs thousands). All
 // preconditioners in this repository depend only on the matrix, so they
-// are built once, sequentially, and reused by every Solve.
+// are built once — concurrently across ranks on the shared-memory worker
+// pool — and reused by every Solve.
 type Session struct {
 	prob    *Problem
 	cfg     Config
@@ -47,15 +49,8 @@ func NewSession(p *Problem, cfg Config) (*Session, error) {
 	s.pcs = make([]precond.Preconditioner, cfg.P)
 	switch {
 	case cfg.Schwarz != nil:
-		sws := make([]*precond.Schwarz, cfg.P)
-		for r := 0; r < cfg.P; r++ {
-			sw, err := precond.NewSchwarz(s.systems[r], p.A, *cfg.Schwarz)
-			if err != nil {
-				return nil, err
-			}
-			sws[r] = sw
-		}
-		if err := precond.WireHalo(sws); err != nil {
+		sws, err := buildSchwarz(s.systems, p.A, *cfg.Schwarz)
+		if err != nil {
 			return nil, err
 		}
 		for r, sw := range sws {
@@ -74,7 +69,10 @@ func NewSession(p *Problem, cfg Config) (*Session, error) {
 			s.pcs[r] = ob
 		}
 	default:
-		for r := 0; r < cfg.P; r++ {
+		// Per-rank factorizations are independent: run them concurrently
+		// on the worker pool.
+		errs := make([]error, cfg.P)
+		par.Run(cfg.P, func(r int) {
 			var pc precond.Preconditioner
 			var err error
 			sys := s.systems[r]
@@ -101,9 +99,15 @@ func NewSession(p *Problem, cfg Config) (*Session, error) {
 				pc = precond.NewIdentity()
 			}
 			if err != nil {
-				return nil, fmt.Errorf("core: rank %d setup: %w", r, err)
+				errs[r] = fmt.Errorf("core: rank %d setup: %w", r, err)
+				return
 			}
 			s.pcs[r] = pc
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	// Model the one-time setup: every rank factors concurrently, so the

@@ -1,0 +1,86 @@
+package core_test
+
+import (
+	"testing"
+
+	"parapre/internal/cases"
+	"parapre/internal/core"
+	"parapre/internal/par"
+	"parapre/internal/precond"
+)
+
+// workersM is the tc1 grid size used by the worker-invariance tests.
+const workersM = 17
+
+// solveWithWorkers runs one full partition+distribute+solve pipeline with
+// the worker pool pinned to w.
+func solveWithWorkers(t *testing.T, w int, mutate func(*core.Config)) *core.Result {
+	t.Helper()
+	prev := par.SetWorkers(w)
+	defer par.SetWorkers(prev)
+	c, err := cases.ByName("tc1-poisson2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := c.Build(workersM)
+	cfg := core.DefaultConfig(4, precond.KindBlock2)
+	cfg.KeepX = true
+	cfg.Solver.RecordHistory = true
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := core.Solve(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSolveWorkerInvariance is the end-to-end determinism contract of the
+// shared-memory layer: the entire pipeline — assembly, distribution,
+// concurrent preconditioner setup, and the distributed Krylov solve —
+// produces bit-identical iteration counts, residual histories, and
+// solutions at every worker count.
+func TestSolveWorkerInvariance(t *testing.T) {
+	variants := []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{"block2", nil},
+		{"schur1", func(cfg *core.Config) { cfg.Precond = precond.KindSchur1 }},
+		{"block1-overlap", func(cfg *core.Config) { cfg.Precond = precond.KindBlock1; cfg.OverlapLevels = 1 }},
+		{"schwarz", func(cfg *core.Config) {
+			cfg.Precond = precond.KindNone
+			sw := precond.DefaultSchwarz(workersM, 2, 2, true)
+			cfg.Schwarz = &sw
+			cfg.Scheme = core.PartitionSimple
+		}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			ref := solveWithWorkers(t, 1, v.mutate)
+			if !ref.Converged {
+				t.Fatalf("reference solve did not converge (%d iters)", ref.Iterations)
+			}
+			for _, w := range []int{3, 8} {
+				got := solveWithWorkers(t, w, v.mutate)
+				if got.Iterations != ref.Iterations {
+					t.Fatalf("w=%d: %d iterations, want %d", w, got.Iterations, ref.Iterations)
+				}
+				if len(got.History) != len(ref.History) {
+					t.Fatalf("w=%d: history length %d, want %d", w, len(got.History), len(ref.History))
+				}
+				for i := range ref.History {
+					if got.History[i] != ref.History[i] {
+						t.Fatalf("w=%d: History[%d] = %x, want %x", w, i, got.History[i], ref.History[i])
+					}
+				}
+				for i := range ref.X {
+					if got.X[i] != ref.X[i] {
+						t.Fatalf("w=%d: X[%d] = %x, want %x", w, i, got.X[i], ref.X[i])
+					}
+				}
+			}
+		})
+	}
+}

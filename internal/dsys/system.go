@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"parapre/internal/dist"
+	"parapre/internal/par"
 	"parapre/internal/sparse"
 )
 
@@ -67,9 +68,11 @@ func (s *System) String() string {
 // systems according to part (part[g] = owning rank of global row g). It
 // performs the classification of §1.1: a node is interdomain interface iff
 // its matrix row couples to a node of another subdomain; otherwise it is
-// internal. The construction runs sequentially — it models the paper's
-// per-subdomain discretization setup phase, which happens before the
-// parallel solve.
+// internal. The node classification and the per-rank subdomain builds are
+// independent, so both run on the shared-memory worker pool; each rank's
+// System is a deterministic function of (a, b, part), so the result does
+// not depend on the worker count. Only the final neighbor wiring, which
+// reads across ranks, stays serial.
 func Distribute(a *sparse.CSR, b []float64, part []int, p int) []*System {
 	if a.Rows != a.Cols {
 		panic("dsys: matrix must be square")
@@ -81,21 +84,25 @@ func Distribute(a *sparse.CSR, b []float64, part []int, p int) []*System {
 
 	// Classify every global node.
 	isIface := make([]bool, n)
-	for i := 0; i < n; i++ {
-		cols, _ := a.Row(i)
-		for _, j := range cols {
-			if part[j] != part[i] {
-				isIface[i] = true
-				break
+	par.For(n, 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cols, _ := a.Row(i)
+			for _, j := range cols {
+				if part[j] != part[i] {
+					isIface[i] = true
+					break
+				}
 			}
 		}
-	}
+	})
 
 	systems := make([]*System, p)
-	globalToLocal := make([]int, n) // valid per-rank during its build pass
-	for r := 0; r < p; r++ {
-		systems[r] = buildLocal(a, b, part, r, p, isIface, globalToLocal)
-	}
+	par.For(p, 1, func(lo, hi int) {
+		g2l := make([]int, n) // valid per-rank during its build pass
+		for r := lo; r < hi; r++ {
+			systems[r] = buildLocal(a, b, part, r, p, isIface, g2l)
+		}
+	})
 	wireNeighbors(systems)
 	return systems
 }

@@ -27,33 +27,38 @@ type ScalarPDE struct {
 	SUPG        bool                      // apply streamline-diffusion stabilization
 }
 
-// AssembleScalar assembles the stiffness matrix and load vector of pde on
-// mesh m, with no boundary conditions applied yet (use ApplyDirichlet).
-func AssembleScalar(m *grid.Mesh, pde ScalarPDE) (*sparse.CSR, []float64) {
-	nn := m.NumNodes()
-	npe := m.NPE
-	coo := sparse.NewCOO(nn, nn, m.NumElems()*npe*npe)
-	rhs := make([]float64, nn)
-	x := make([]float64, m.Dim)
-
-	vel := pde.Velocity
+// velocityNorm returns |v| of the convection field (0 when absent).
+func (pde *ScalarPDE) velocityNorm() float64 {
 	var vnorm float64
-	if vel != nil {
-		for _, v := range vel {
-			vnorm += v * v
-		}
-		vnorm = math.Sqrt(vnorm)
+	for _, v := range pde.Velocity {
+		vnorm += v * v
 	}
+	return math.Sqrt(vnorm)
+}
+
+// elemScale returns the element length scale h used by the SUPG parameter.
+func elemScale(dim int, measure float64) float64 {
+	if dim == 2 {
+		return math.Sqrt(2 * measure)
+	}
+	return math.Cbrt(6 * measure)
+}
+
+// scalarKernel builds the per-element assembly body of AssembleScalar.
+func scalarKernel(m *grid.Mesh, pde ScalarPDE) func(e int, s *sink) {
+	npe := m.NPE
+	vel := pde.Velocity
+	vnorm := pde.velocityNorm()
 	convect := vnorm > 0
 
-	for e := 0; e < m.NumElems(); e++ {
+	return func(e int, s *sink) {
 		g := geometry(m, e)
 		el := m.Elem(e)
 
 		kDiff := pde.Diffusion
 		if pde.DiffusionFn != nil {
-			centroid(m, e, x)
-			kDiff = pde.DiffusionFn(x)
+			centroid(m, e, s.x)
+			kDiff = pde.DiffusionFn(s.x)
 		}
 
 		// Diffusion: k·|E|·∇φ_i·∇φ_j.
@@ -63,7 +68,7 @@ func AssembleScalar(m *grid.Mesh, pde ScalarPDE) (*sparse.CSR, []float64) {
 				for d := 0; d < m.Dim; d++ {
 					dot += g.grad[i][d] * g.grad[j][d]
 				}
-				coo.Add(el[i], el[j], kDiff*g.measure*dot)
+				s.add(el[i], el[j], kDiff*g.measure*dot)
 			}
 		}
 
@@ -71,16 +76,16 @@ func AssembleScalar(m *grid.Mesh, pde ScalarPDE) (*sparse.CSR, []float64) {
 		// and keeps f evaluations to one per element.
 		var fc float64
 		if pde.Source != nil {
-			centroid(m, e, x)
-			fc = pde.Source(x)
+			centroid(m, e, s.x)
+			fc = pde.Source(s.x)
 			w := g.measure / float64(npe)
 			for i := 0; i < npe; i++ {
-				rhs[el[i]] += w * fc
+				s.addRHS(el[i], w*fc)
 			}
 		}
 
 		if !convect {
-			continue
+			return
 		}
 
 		// Convection: (v·∇φ_j)·∫φ_i = (v·∇φ_j)·|E|/NPE.
@@ -93,12 +98,12 @@ func AssembleScalar(m *grid.Mesh, pde ScalarPDE) (*sparse.CSR, []float64) {
 		w := g.measure / float64(npe)
 		for i := 0; i < npe; i++ {
 			for j := 0; j < npe; j++ {
-				coo.Add(el[i], el[j], w*vg[j])
+				s.add(el[i], el[j], w*vg[j])
 			}
 		}
 
 		if !pde.SUPG {
-			continue
+			return
 		}
 
 		// SUPG stabilization: τ·|E|·(v·∇φ_i)(v·∇φ_j), with the classical
@@ -106,24 +111,26 @@ func AssembleScalar(m *grid.Mesh, pde ScalarPDE) (*sparse.CSR, []float64) {
 		//   τ = h/(2|v|)·(coth(Pe) − 1/Pe),  Pe = |v|·h/(2k),
 		// where h is an element length scale (diameter-equivalent of the
 		// measure). The same weighting is applied to the source term.
-		var h float64
-		if m.Dim == 2 {
-			h = math.Sqrt(2 * g.measure)
-		} else {
-			h = math.Cbrt(6 * g.measure)
-		}
+		h := elemScale(m.Dim, g.measure)
 		pe := vnorm * h / (2 * kDiff)
 		tau := h / (2 * vnorm) * upwindFn(pe)
 		for i := 0; i < npe; i++ {
 			for j := 0; j < npe; j++ {
-				coo.Add(el[i], el[j], tau*g.measure*vg[i]*vg[j])
+				s.add(el[i], el[j], tau*g.measure*vg[i]*vg[j])
 			}
 			if pde.Source != nil {
-				rhs[el[i]] += tau * g.measure * vg[i] * fc
+				s.addRHS(el[i], tau*g.measure*vg[i]*fc)
 			}
 		}
 	}
-	return coo.ToCSR(), rhs
+}
+
+// AssembleScalar assembles the stiffness matrix and load vector of pde on
+// mesh m, with no boundary conditions applied yet (use ApplyDirichlet).
+// Large meshes are assembled in parallel over element chunks; the result
+// is bit-identical to the serial assembly for every worker count.
+func AssembleScalar(m *grid.Mesh, pde ScalarPDE) (*sparse.CSR, []float64) {
+	return assemble(m, m.NumNodes(), m.NPE*m.NPE, scalarKernel(m, pde))
 }
 
 // upwindFn is ξ(Pe) = coth(Pe) − 1/Pe, evaluated stably near 0.
@@ -141,16 +148,14 @@ func upwindFn(pe float64) float64 {
 // M_ij = ∫ φ_i φ_j dx, used by the implicit heat-equation step of Test
 // Case 4 (A = M + Δt·K).
 func AssembleMass(m *grid.Mesh) *sparse.CSR {
-	nn := m.NumNodes()
 	npe := m.NPE
-	coo := sparse.NewCOO(nn, nn, m.NumElems()*npe*npe)
 	// Exact P1 formulas: M^e_ij = |E|/12·(1+δ_ij) on triangles,
 	// |E|/20·(1+δ_ij) on tets.
 	den := 12.0
 	if npe == 4 {
 		den = 20.0
 	}
-	for e := 0; e < m.NumElems(); e++ {
+	a, _ := assemble(m, m.NumNodes(), npe*npe, func(e int, s *sink) {
 		g := geometry(m, e)
 		el := m.Elem(e)
 		off := g.measure / den
@@ -160,11 +165,11 @@ func AssembleMass(m *grid.Mesh) *sparse.CSR {
 				if i == j {
 					v = 2 * off
 				}
-				coo.Add(el[i], el[j], v)
+				s.add(el[i], el[j], v)
 			}
 		}
-	}
-	return coo.ToCSR()
+	})
+	return a
 }
 
 // LumpedMass returns the row-sum lumped mass weights: w_i = Σ_j M_ij.
@@ -195,15 +200,9 @@ func AssembleElasticity(m *grid.Mesh, mu, lambda float64, f func(x []float64) (f
 	if m.Dim != 2 {
 		panic("fem: AssembleElasticity supports 2D meshes only")
 	}
-	nn := m.NumNodes()
 	npe := m.NPE
-	ndof := 2 * nn
-	coo := sparse.NewCOO(ndof, ndof, m.NumElems()*npe*npe*4)
-	rhs := make([]float64, ndof)
-	x := make([]float64, 2)
 	gd := mu + lambda
-
-	for e := 0; e < m.NumElems(); e++ {
+	return assemble(m, 2*m.NumNodes(), npe*npe*4, func(e int, s *sink) {
 		g := geometry(m, e)
 		el := m.Elem(e)
 		for i := 0; i < npe; i++ {
@@ -220,20 +219,19 @@ func AssembleElasticity(m *grid.Mesh, mu, lambda float64, f func(x []float64) (f
 						if alpha == beta {
 							v += mu * gradDot
 						}
-						coo.Add(2*el[i]+alpha, 2*el[j]+beta, g.measure*v)
+						s.add(2*el[i]+alpha, 2*el[j]+beta, g.measure*v)
 					}
 				}
 			}
 		}
 		if f != nil {
-			centroid(m, e, x)
-			fx, fy := f(x)
+			centroid(m, e, s.x)
+			fx, fy := f(s.x)
 			w := g.measure / float64(npe)
 			for i := 0; i < npe; i++ {
-				rhs[2*el[i]] += w * fx
-				rhs[2*el[i]+1] += w * fy
+				s.addRHS(2*el[i], w*fx)
+				s.addRHS(2*el[i]+1, w*fy)
 			}
 		}
-	}
-	return coo.ToCSR(), rhs
+	})
 }

@@ -1,8 +1,6 @@
 package fem
 
 import (
-	"math"
-
 	"parapre/internal/grid"
 	"parapre/internal/sparse"
 )
@@ -15,23 +13,12 @@ import (
 // empty — suitable for dsys.DistributeRows. The union of all ranks' slabs
 // equals the global assembly, without any rank ever forming it.
 func AssembleScalarRows(m *grid.Mesh, pde ScalarPDE, owned func(node int) bool) (*sparse.CSR, []float64) {
-	nn := m.NumNodes()
 	npe := m.NPE
-	coo := sparse.NewCOO(nn, nn, 0)
-	rhs := make([]float64, nn)
-	x := make([]float64, m.Dim)
-
 	vel := pde.Velocity
-	var vnorm float64
-	if vel != nil {
-		for _, v := range vel {
-			vnorm += v * v
-		}
-		vnorm = math.Sqrt(vnorm)
-	}
+	vnorm := pde.velocityNorm()
 	convect := vnorm > 0
 
-	for e := 0; e < m.NumElems(); e++ {
+	return assemble(m, m.NumNodes(), 0, func(e int, s *sink) {
 		el := m.Elem(e)
 		anyOwned := false
 		for _, node := range el {
@@ -41,19 +28,19 @@ func AssembleScalarRows(m *grid.Mesh, pde ScalarPDE, owned func(node int) bool) 
 			}
 		}
 		if !anyOwned {
-			continue
+			return
 		}
 		g := geometry(m, e)
 
 		kDiff := pde.Diffusion
 		if pde.DiffusionFn != nil {
-			centroid(m, e, x)
-			kDiff = pde.DiffusionFn(x)
+			centroid(m, e, s.x)
+			kDiff = pde.DiffusionFn(s.x)
 		}
 		var fc float64
 		if pde.Source != nil {
-			centroid(m, e, x)
-			fc = pde.Source(x)
+			centroid(m, e, s.x)
+			fc = pde.Source(s.x)
 		}
 
 		var vg [4]float64
@@ -65,12 +52,7 @@ func AssembleScalarRows(m *grid.Mesh, pde ScalarPDE, owned func(node int) bool) 
 				}
 			}
 			if pde.SUPG {
-				var h float64
-				if m.Dim == 2 {
-					h = math.Sqrt(2 * g.measure)
-				} else {
-					h = math.Cbrt(6 * g.measure)
-				}
+				h := elemScale(m.Dim, g.measure)
 				pe := vnorm * h / (2 * kDiff)
 				tau = h / (2 * vnorm) * upwindFn(pe)
 			}
@@ -93,17 +75,16 @@ func AssembleScalarRows(m *grid.Mesh, pde ScalarPDE, owned func(node int) bool) 
 						v += tau * g.measure * vg[i] * vg[j]
 					}
 				}
-				coo.Add(el[i], el[j], v)
+				s.add(el[i], el[j], v)
 			}
 			if pde.Source != nil {
-				rhs[el[i]] += w * fc
+				s.addRHS(el[i], w*fc)
 				if pde.SUPG && convect {
-					rhs[el[i]] += tau * g.measure * vg[i] * fc
+					s.addRHS(el[i], tau*g.measure*vg[i]*fc)
 				}
 			}
 		}
-	}
-	return coo.ToCSR(), rhs
+	})
 }
 
 // ApplyDirichletRows imposes the boundary conditions on a row slab: it is
@@ -149,15 +130,10 @@ func AssembleElasticityRows(m *grid.Mesh, mu, lambda float64,
 	if m.Dim != 2 {
 		panic("fem: AssembleElasticityRows supports 2D meshes only")
 	}
-	nn := m.NumNodes()
 	npe := m.NPE
-	ndof := 2 * nn
-	coo := sparse.NewCOO(ndof, ndof, 0)
-	rhs := make([]float64, ndof)
-	x := make([]float64, 2)
 	gd := mu + lambda
 
-	for e := 0; e < m.NumElems(); e++ {
+	return assemble(m, 2*m.NumNodes(), 0, func(e int, s *sink) {
 		el := m.Elem(e)
 		anyOwned := false
 		for _, node := range el {
@@ -167,13 +143,13 @@ func AssembleElasticityRows(m *grid.Mesh, mu, lambda float64,
 			}
 		}
 		if !anyOwned {
-			continue
+			return
 		}
 		g := geometry(m, e)
 		var fx, fy float64
 		if f != nil {
-			centroid(m, e, x)
-			fx, fy = f(x)
+			centroid(m, e, s.x)
+			fx, fy = f(s.x)
 		}
 		w := g.measure / float64(npe)
 		for i := 0; i < npe; i++ {
@@ -192,18 +168,17 @@ func AssembleElasticityRows(m *grid.Mesh, mu, lambda float64,
 						if alpha == beta {
 							v += mu * gradDot
 						}
-						coo.Add(row, 2*el[j]+beta, g.measure*v)
+						s.add(row, 2*el[j]+beta, g.measure*v)
 					}
 				}
 				if f != nil {
 					if alpha == 0 {
-						rhs[row] += w * fx
+						s.addRHS(row, w*fx)
 					} else {
-						rhs[row] += w * fy
+						s.addRHS(row, w*fy)
 					}
 				}
 			}
 		}
-	}
-	return coo.ToCSR(), rhs
+	})
 }

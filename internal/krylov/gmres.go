@@ -13,7 +13,11 @@
 // real machine.
 package krylov
 
-import "math"
+import (
+	"math"
+
+	"parapre/internal/sparse"
+)
 
 // Op applies an operator: y = A·x. y and x never alias.
 type Op func(y, x []float64)
@@ -141,10 +145,7 @@ func GMRES(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options)
 			return res
 		}
 
-		inv := 1 / beta
-		for i := range r {
-			V[0][i] = r[i] * inv
-		}
+		sparse.ScaleTo(V[0], 1/beta, r)
 		opt.charge(nf)
 		for i := range g {
 			g[i] = 0
@@ -172,18 +173,13 @@ func GMRES(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options)
 			for i := 0; i <= j; i++ {
 				h := dot(w, V[i])
 				H[i+j*(m+1)] = h
-				for k := range w {
-					w[k] -= h * V[i][k]
-				}
+				sparse.Axpy(-h, V[i], w)
 				opt.charge(2 * nf)
 			}
 			hn := norm(w)
 			H[j+1+j*(m+1)] = hn
 			if hn > 0 {
-				inv := 1 / hn
-				for k := range w {
-					V[j+1][k] = w[k] * inv
-				}
+				sparse.ScaleTo(V[j+1], 1/hn, w)
 				opt.charge(nf)
 			}
 
@@ -247,9 +243,7 @@ func GMRES(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options)
 			}
 			opt.charge(2 * nf * float64(j))
 			precond(z, w)
-			for i := range x {
-				x[i] += z[i]
-			}
+			sparse.Axpy(1, z, x)
 			opt.charge(nf)
 		} else {
 			for k := 0; k < j; k++ {
@@ -272,8 +266,7 @@ func GMRES(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options)
 	}
 }
 
+// ax is y += a·x, routed through the (possibly parallel) sparse kernel.
 func ax(y []float64, a float64, x []float64) {
-	for i := range x {
-		y[i] += a * x[i]
-	}
+	sparse.Axpy(a, x, y)
 }

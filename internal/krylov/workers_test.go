@@ -1,0 +1,81 @@
+package krylov
+
+import (
+	"math"
+	"testing"
+
+	"parapre/internal/par"
+	"parapre/internal/sparse"
+)
+
+// laplacian2D builds the 5-point Laplacian on an m×m grid.
+func laplacian2D(m int) *sparse.CSR {
+	n := m * m
+	coo := sparse.NewCOO(n, n, 5*n)
+	for j := 0; j < m; j++ {
+		for i := 0; i < m; i++ {
+			r := j*m + i
+			coo.Add(r, r, 4)
+			if i > 0 {
+				coo.Add(r, r-1, -1)
+			}
+			if i < m-1 {
+				coo.Add(r, r+1, -1)
+			}
+			if j > 0 {
+				coo.Add(r, r-m, -1)
+			}
+			if j < m-1 {
+				coo.Add(r, r+m, -1)
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// TestGMRESHistoryWorkerInvariance runs plain GMRES on a system large
+// enough (n = 81² = 6561 > par.BlockSize) to engage the parallel SpMV and
+// the blocked reductions, and checks that the residual history — hence
+// the iteration count — is bit-identical at every worker count.
+func TestGMRESHistoryWorkerInvariance(t *testing.T) {
+	a := laplacian2D(81)
+	n := a.Rows
+	if n <= par.BlockSize {
+		t.Fatalf("system too small (n=%d) to engage the blocked reductions", n)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = math.Sin(float64(i)) + 0.5
+	}
+	// A fixed iteration budget (well short of convergence for the
+	// unpreconditioned Laplacian) is enough: the contract is that every
+	// intermediate residual matches bitwise, across several restarts.
+	opt := Options{Restart: 30, MaxIters: 120, Tol: 1e-12, RecordHistory: true}
+
+	run := func() Result {
+		x := make([]float64, n)
+		return SolveCSR(a, nil, b, x, opt)
+	}
+	prev := par.SetWorkers(1)
+	ref := run()
+	par.SetWorkers(prev)
+	if ref.Iterations != opt.MaxIters {
+		t.Fatalf("reference GMRES stopped after %d of %d iterations", ref.Iterations, opt.MaxIters)
+	}
+	for _, w := range []int{2, 3, 8} {
+		prev := par.SetWorkers(w)
+		got := run()
+		par.SetWorkers(prev)
+		if got.Iterations != ref.Iterations {
+			t.Fatalf("w=%d: %d iterations, want %d", w, got.Iterations, ref.Iterations)
+		}
+		if len(got.History) != len(ref.History) {
+			t.Fatalf("w=%d: history length %d, want %d", w, len(got.History), len(ref.History))
+		}
+		for i := range ref.History {
+			if got.History[i] != ref.History[i] {
+				t.Fatalf("w=%d: History[%d] = %x, want %x", w, i, got.History[i], ref.History[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// withWorkers runs fn with the worker count pinned to w, restoring the
+// previous value afterwards.
+func withWorkers(w int, fn func()) {
+	prev := SetWorkers(w)
+	defer SetWorkers(prev)
+	fn()
+}
+
+func TestWorkersFromEnv(t *testing.T) {
+	env := func(vals map[string]string) func(string) string {
+		return func(k string) string { return vals[k] }
+	}
+	cases := []struct {
+		val  string
+		def  int
+		want int
+	}{
+		{"", 7, 7},
+		{"3", 7, 3},
+		{"1", 7, 1},
+		{"0", 7, 7},   // non-positive ignored
+		{"-2", 7, 7},  // non-positive ignored
+		{"abc", 7, 7}, // non-numeric ignored
+		{"", 0, 1},    // degenerate default clamped
+	}
+	for _, c := range cases {
+		got := workersFromEnv(env(map[string]string{EnvWorkers: c.val}), c.def)
+		if got != c.want {
+			t.Errorf("workersFromEnv(%q, %d) = %d, want %d", c.val, c.def, got, c.want)
+		}
+	}
+}
+
+func TestSetWorkersClampsAndRestores(t *testing.T) {
+	prev := SetWorkers(5)
+	defer SetWorkers(prev)
+	if Workers() != 5 {
+		t.Fatalf("Workers() = %d after SetWorkers(5)", Workers())
+	}
+	if old := SetWorkers(0); old != 5 {
+		t.Fatalf("SetWorkers returned %d, want 5", old)
+	}
+	if Workers() != 1 {
+		t.Fatalf("SetWorkers(0) should clamp to 1, got %d", Workers())
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 8} {
+		withWorkers(w, func() {
+			const n = 1000
+			var marks [n]int32
+			For(n, 16, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&marks[i], 1)
+				}
+			})
+			for i, m := range marks {
+				if m != 1 {
+					t.Fatalf("w=%d: index %d visited %d times", w, i, m)
+				}
+			}
+		})
+	}
+}
+
+func TestForRespectsGrain(t *testing.T) {
+	withWorkers(8, func() {
+		var calls atomic.Int32
+		For(100, 100, func(lo, hi int) {
+			calls.Add(1)
+			if lo != 0 || hi != 100 {
+				t.Errorf("grain=n should give one chunk, got [%d,%d)", lo, hi)
+			}
+		})
+		if calls.Load() != 1 {
+			t.Fatalf("expected 1 chunk, got %d", calls.Load())
+		}
+	})
+	// n = 0 is a no-op.
+	For(0, 1, func(lo, hi int) { t.Fatal("body called for n=0") })
+}
+
+func TestForSegments(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		withWorkers(w, func() {
+			bounds := []int{0, 3, 3, 10, 64} // includes an empty segment
+			var marks [64]int32
+			ForSegments(bounds, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&marks[i], 1)
+				}
+			})
+			for i, m := range marks {
+				if m != 1 {
+					t.Fatalf("w=%d: index %d visited %d times", w, i, m)
+				}
+			}
+		})
+	}
+	ForSegments(nil, func(lo, hi int) { t.Fatal("body called for nil bounds") })
+	ForSegments([]int{5}, func(lo, hi int) { t.Fatal("body called for single bound") })
+}
+
+func TestRunCoversEveryTaskOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 8} {
+		withWorkers(w, func() {
+			const tasks = 57
+			var marks [tasks]int32
+			Run(tasks, func(tk int) { atomic.AddInt32(&marks[tk], 1) })
+			for i, m := range marks {
+				if m != 1 {
+					t.Fatalf("w=%d: task %d ran %d times", w, i, m)
+				}
+			}
+		})
+	}
+}
+
+// TestNestedParallelism ensures a For inside a Run (a kernel invoked from
+// a subdomain job) neither deadlocks nor loses work.
+func TestNestedParallelism(t *testing.T) {
+	withWorkers(4, func() {
+		var total atomic.Int64
+		Run(6, func(tk int) {
+			For(500, 8, func(lo, hi int) {
+				total.Add(int64(hi - lo))
+			})
+		})
+		if total.Load() != 6*500 {
+			t.Fatalf("nested total = %d, want %d", total.Load(), 6*500)
+		}
+	})
+}
+
+func TestNumBlocks(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {-1, 0}, {1, 1}, {BlockSize, 1}, {BlockSize + 1, 2}, {3 * BlockSize, 3},
+	}
+	for _, c := range cases {
+		if got := NumBlocks(c.n); got != c.want {
+			t.Errorf("NumBlocks(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+// TestSumBlocksDeterministic is the core determinism contract: the blocked
+// sum is bit-identical across worker counts, including the serial one.
+func TestSumBlocksDeterministic(t *testing.T) {
+	// A sum that is rounding-sensitive: alternating magnitudes.
+	n := 3*BlockSize + 123
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1e-8 + float64(i%7)*1e8
+	}
+	block := func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += x[i]
+		}
+		return s
+	}
+	var ref float64
+	withWorkers(1, func() { ref = SumBlocks(n, block) })
+	for _, w := range []int{2, 3, 8} {
+		withWorkers(w, func() {
+			if got := SumBlocks(n, block); got != ref {
+				t.Fatalf("w=%d: SumBlocks = %x, want %x (w=1)", w, got, ref)
+			}
+		})
+	}
+}
+
+func TestSumBlocksSmall(t *testing.T) {
+	if got := SumBlocks(0, func(lo, hi int) float64 { return 1 }); got != 0 {
+		t.Fatalf("SumBlocks(0) = %g", got)
+	}
+	got := SumBlocks(10, func(lo, hi int) float64 { return float64(hi - lo) })
+	if got != 10 {
+		t.Fatalf("single-block SumBlocks = %g, want 10", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"parapre/internal/dist"
 	"parapre/internal/dsys"
 	"parapre/internal/ilu"
+	"parapre/internal/par"
 	"parapre/internal/sparse"
 )
 
@@ -45,8 +46,10 @@ type OverlapOptions struct {
 }
 
 // BuildOverlapBlocks constructs one OverlapBlock per rank from the global
-// matrix and the partition, and wires the halo exchanges. Setup is
-// sequential (as with NewSchwarz); Apply is collective.
+// matrix and the partition, and wires the halo exchanges. The per-rank
+// block growth and factorization are independent and run on the
+// shared-memory worker pool; only the cross-rank halo wiring is
+// sequential. Apply is collective.
 func BuildOverlapBlocks(a *sparse.CSR, part []int, systems []*dsys.System, opt OverlapOptions) ([]*OverlapBlock, error) {
 	p := len(systems)
 	all := make([]*OverlapBlock, p)
@@ -59,7 +62,9 @@ func BuildOverlapBlocks(a *sparse.CSR, part []int, systems []*dsys.System, opt O
 		ownerLocal[r] = m
 	}
 
-	for r, s := range systems {
+	errs := make([]error, p)
+	par.Run(p, func(r int) {
+		s := systems[r]
 		ob := &OverlapBlock{s: s, ownN: s.NLoc()}
 		if opt.UseILU0 {
 			ob.name = fmt.Sprintf("Block 1 (+%d overlap)", opt.Levels)
@@ -99,11 +104,17 @@ func BuildOverlapBlocks(a *sparse.CSR, part []int, systems []*dsys.System, opt O
 			ob.f, err = ilu.ILUT(blk, opt.ILUT)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("precond: overlap block rank %d: %w", r, err)
+			errs[r] = fmt.Errorf("precond: overlap block rank %d: %w", r, err)
+			return
 		}
 		ob.rExt = make([]float64, len(ob.extNodes))
 		ob.zExt = make([]float64, len(ob.extNodes))
 		all[r] = ob
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Wire halos: rank r needs values of extNodes[ownN:] from their

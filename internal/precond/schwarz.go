@@ -106,8 +106,9 @@ const (
 // NewSchwarz builds the Schwarz preconditioner for rank s.Rank. The
 // distributed system must have been built with BoxPartition(M, Px, Py)
 // and the global matrix a must be the Test-Case-1-style assembly on
-// grid.UnitSquareTri(M). Setup is sequential (call before dist.Run) but
-// Apply is collective.
+// grid.UnitSquareTri(M). Setup happens before dist.Run (different ranks'
+// setups are independent and may run concurrently) but Apply is
+// collective.
 func NewSchwarz(s *dsys.System, a *sparse.CSR, opt SchwarzOptions) (*Schwarz, error) {
 	m := opt.M
 	if m*m != a.Rows {

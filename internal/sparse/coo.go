@@ -3,6 +3,8 @@ package sparse
 import (
 	"fmt"
 	"sort"
+
+	"parapre/internal/par"
 )
 
 // COO is a coordinate-format assembly buffer. Finite-element assembly adds
@@ -41,12 +43,43 @@ func (c *COO) Add(i, j int, v float64) {
 // Len returns the number of recorded contributions (including duplicates).
 func (c *COO) Len() int { return len(c.I) }
 
-// ToCSR converts the buffer to CSR, summing duplicate entries and dropping
-// exact zeros that result from cancellation only when drop is true.
+// ent is one (column, value) pair during row normalization.
+type ent struct {
+	col int
+	val float64
+}
+
+// mergeRow sorts buf by column and appends the duplicate-summed entries to
+// (cols, vals). Duplicates are summed in their post-sort order; since the
+// sort and the input sequence are deterministic, so is the result. Both
+// the serial and the parallel ToCSR paths normalize every row through this
+// one helper, which is what makes them bit-identical.
+func mergeRow(buf []ent, cols []int, vals []float64) ([]int, []float64) {
+	sort.Slice(buf, func(x, y int) bool { return buf[x].col < buf[y].col })
+	for k := 0; k < len(buf); {
+		j := buf[k].col
+		var s float64
+		for ; k < len(buf) && buf[k].col == j; k++ {
+			s += buf[k].val
+		}
+		cols = append(cols, j)
+		vals = append(vals, s)
+	}
+	return cols, vals
+}
+
+// cooParMinTriplets is the buffer size below which ToCSR stays serial.
+const cooParMinTriplets = 8192
+
+// ToCSR converts the buffer to CSR, summing duplicate entries.
+//
+// Contributions are bucketed by row with a counting sort, then each row is
+// sorted by column and its duplicates merged. This is O(nnz log rowlen)
+// and avoids a global sort of potentially tens of millions of triplets.
+// Rows are independent, so large buffers are normalized in parallel over a
+// triplet-balanced row partition; the result is bit-identical to the
+// serial conversion for every worker count.
 func (c *COO) ToCSR() *CSR {
-	// Bucket contributions by row using counting sort, then sort each row
-	// by column and merge duplicates. This is O(nnz log rowlen) and avoids
-	// a global sort of potentially tens of millions of triplets.
 	rowCount := make([]int, c.Rows+1)
 	for _, i := range c.I {
 		rowCount[i+1]++
@@ -61,11 +94,11 @@ func (c *COO) ToCSR() *CSR {
 		next[i]++
 	}
 
-	a := NewCSR(c.Rows, c.Cols, len(c.I))
-	type ent struct {
-		col int
-		val float64
+	if w := par.Workers(); w > 1 && len(c.I) >= cooParMinTriplets && c.Rows > 1 {
+		return c.toCSRParallel(rowCount, perm, w)
 	}
+
+	a := NewCSR(c.Rows, c.Cols, len(c.I))
 	var rowBuf []ent
 	for i := 0; i < c.Rows; i++ {
 		rowBuf = rowBuf[:0]
@@ -73,18 +106,77 @@ func (c *COO) ToCSR() *CSR {
 			k := perm[p]
 			rowBuf = append(rowBuf, ent{c.J[k], c.V[k]})
 		}
-		sort.Slice(rowBuf, func(x, y int) bool { return rowBuf[x].col < rowBuf[y].col })
-		for k := 0; k < len(rowBuf); {
-			j := rowBuf[k].col
-			var s float64
-			for ; k < len(rowBuf) && rowBuf[k].col == j; k++ {
-				s += rowBuf[k].val
-			}
-			a.ColIdx = append(a.ColIdx, j)
-			a.Val = append(a.Val, s)
-		}
+		a.ColIdx, a.Val = mergeRow(rowBuf, a.ColIdx, a.Val)
 		a.RowPtr[i+1] = len(a.ColIdx)
 	}
+	return a
+}
+
+// toCSRParallel is the fan-out tail of ToCSR: rowCount is the prefix-sum
+// row bucketing and perm the row-stable triplet permutation. Each worker
+// normalizes a contiguous row range (balanced by triplet count) into a
+// private buffer; the merged rows are then stitched together with one
+// prefix sum and per-segment copies.
+func (c *COO) toCSRParallel(rowCount, perm []int, w int) *CSR {
+	// Triplet-balanced row boundaries via binary search on the prefix sums.
+	bounds := make([]int, w+1)
+	for s := 1; s < w; s++ {
+		target := int(int64(s) * int64(len(c.I)) / int64(w))
+		r := sort.SearchInts(rowCount, target)
+		if r > c.Rows {
+			r = c.Rows
+		}
+		if r < bounds[s-1] {
+			r = bounds[s-1]
+		}
+		bounds[s] = r
+	}
+	bounds[w] = c.Rows
+
+	type segOut struct {
+		cols []int
+		vals []float64
+	}
+	outs := make([]segOut, w)
+	rowLen := make([]int, c.Rows) // merged length per row (disjoint writes)
+	par.Run(w, func(s int) {
+		lo, hi := bounds[s], bounds[s+1]
+		if lo >= hi {
+			return
+		}
+		o := segOut{
+			cols: make([]int, 0, rowCount[hi]-rowCount[lo]),
+			vals: make([]float64, 0, rowCount[hi]-rowCount[lo]),
+		}
+		var rowBuf []ent
+		for i := lo; i < hi; i++ {
+			rowBuf = rowBuf[:0]
+			for p := rowCount[i]; p < rowCount[i+1]; p++ {
+				k := perm[p]
+				rowBuf = append(rowBuf, ent{c.J[k], c.V[k]})
+			}
+			before := len(o.cols)
+			o.cols, o.vals = mergeRow(rowBuf, o.cols, o.vals)
+			rowLen[i] = len(o.cols) - before
+		}
+		outs[s] = o
+	})
+
+	a := NewCSR(c.Rows, c.Cols, 0)
+	for i := 0; i < c.Rows; i++ {
+		a.RowPtr[i+1] = a.RowPtr[i] + rowLen[i]
+	}
+	total := a.RowPtr[c.Rows]
+	a.ColIdx = make([]int, total)
+	a.Val = make([]float64, total)
+	par.Run(w, func(s int) {
+		lo := bounds[s]
+		if lo >= bounds[s+1] {
+			return
+		}
+		copy(a.ColIdx[a.RowPtr[lo]:], outs[s].cols)
+		copy(a.Val[a.RowPtr[lo]:], outs[s].vals)
+	})
 	return a
 }
 

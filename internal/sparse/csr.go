@@ -11,6 +11,9 @@ package sparse
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
+
+	"parapre/internal/par"
 )
 
 // CSR is a sparse matrix in compressed sparse row format.
@@ -24,6 +27,12 @@ type CSR struct {
 	RowPtr     []int
 	ColIdx     []int
 	Val        []float64
+
+	// rowPart caches the nnz-balanced row partition used by the parallel
+	// matrix-vector kernels. Lazily computed, atomically published (two
+	// ranks may share a matrix read-only), and revalidated against the
+	// current shape on every use — see rowPartition.
+	rowPart atomic.Pointer[rowPartCache]
 }
 
 // NewCSR returns an empty r×c matrix with capacity for nnz nonzeros.
@@ -108,14 +117,51 @@ func (a *CSR) MulVec(x []float64) []float64 {
 	return y
 }
 
-// MulVecTo computes y = A·x without allocating. x must have length Cols
-// and y length Rows; y and x must not alias.
-func (a *CSR) MulVecTo(y, x []float64) {
-	if len(x) < a.Cols || len(y) < a.Rows {
-		panic(fmt.Sprintf("sparse: MulVecTo dimension mismatch: A is %d×%d, len(x)=%d, len(y)=%d",
-			a.Rows, a.Cols, len(x), len(y)))
+// rowPartCache is one computed nnz-balanced row partition, tagged with
+// the shape it was computed for so structural edits invalidate it.
+type rowPartCache struct {
+	segs, rows, nnz int
+	bounds          []int // len segs+1, non-decreasing, covers [0, Rows)
+}
+
+// spmvParMinNNZ is the matrix size below which the matrix-vector kernels
+// stay serial: small subdomain blocks are not worth the fan-out.
+const spmvParMinNNZ = 8192
+
+// rowPartition returns segment boundaries splitting the rows into segs
+// contiguous ranges of roughly equal nonzero count, so one long row does
+// not serialize a parallel sweep. The partition is computed once and
+// cached; it is recomputed whenever segs, the row count, or the nonzero
+// count changed since it was built. (Balance — not correctness — depends
+// on RowPtr: any cached boundary vector covering the rows yields exact
+// results, so a stale-but-covering partition is merely slower.)
+func (a *CSR) rowPartition(segs int) []int {
+	if p := a.rowPart.Load(); p != nil && p.segs == segs && p.rows == a.Rows && p.nnz == a.NNZ() {
+		return p.bounds
 	}
-	for i := 0; i < a.Rows; i++ {
+	nnz := a.NNZ()
+	bounds := make([]int, segs+1)
+	for s := 1; s < segs; s++ {
+		target := int(int64(s) * int64(nnz) / int64(segs))
+		r := sort.SearchInts(a.RowPtr, target)
+		if r > a.Rows {
+			r = a.Rows
+		}
+		if r < bounds[s-1] {
+			r = bounds[s-1]
+		}
+		bounds[s] = r
+	}
+	bounds[segs] = a.Rows
+	a.rowPart.Store(&rowPartCache{segs: segs, rows: a.Rows, nnz: nnz, bounds: bounds})
+	return bounds
+}
+
+// mulRange computes y[lo:hi] = A[lo:hi]·x — the serial SpMV restricted to
+// a row range. Each row is an independent left-to-right accumulation, so
+// any row partition yields bit-identical results.
+func (a *CSR) mulRange(y, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		var s float64
 		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
 			s += a.Val[k] * x[a.ColIdx[k]]
@@ -124,9 +170,8 @@ func (a *CSR) MulVecTo(y, x []float64) {
 	}
 }
 
-// MulVecAdd computes y += alpha * A·x without allocating.
-func (a *CSR) MulVecAdd(y []float64, alpha float64, x []float64) {
-	for i := 0; i < a.Rows; i++ {
+func (a *CSR) mulAddRange(y []float64, alpha float64, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		var s float64
 		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
 			s += a.Val[k] * x[a.ColIdx[k]]
@@ -135,16 +180,58 @@ func (a *CSR) MulVecAdd(y []float64, alpha float64, x []float64) {
 	}
 }
 
-// MulVecSub computes y -= A·x without allocating. It is the residual-update
-// kernel used by the Schur-complement right-hand-side construction.
-func (a *CSR) MulVecSub(y, x []float64) {
-	for i := 0; i < a.Rows; i++ {
+func (a *CSR) mulSubRange(y, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		var s float64
 		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
 			s += a.Val[k] * x[a.ColIdx[k]]
 		}
 		y[i] -= s
 	}
+}
+
+func (a *CSR) checkMulDims(op string, y, x []float64) {
+	if len(x) < a.Cols || len(y) < a.Rows {
+		panic(fmt.Sprintf("sparse: %s dimension mismatch: A is %d×%d, len(x)=%d, len(y)=%d",
+			op, a.Rows, a.Cols, len(x), len(y)))
+	}
+}
+
+// MulVecTo computes y = A·x without allocating. x must have length Cols
+// and y length Rows; y and x must not alias. Large matrices are swept in
+// parallel over the cached nnz-balanced row partition; every row is still
+// accumulated left-to-right, so the result is bit-identical to the serial
+// sweep at any worker count.
+func (a *CSR) MulVecTo(y, x []float64) {
+	a.checkMulDims("MulVecTo", y, x)
+	if w := par.Workers(); w > 1 && a.NNZ() >= spmvParMinNNZ {
+		par.ForSegments(a.rowPartition(w), func(lo, hi int) { a.mulRange(y, x, lo, hi) })
+		return
+	}
+	a.mulRange(y, x, 0, a.Rows)
+}
+
+// MulVecAdd computes y += alpha * A·x without allocating. Dimension rules
+// and parallelism are as for MulVecTo.
+func (a *CSR) MulVecAdd(y []float64, alpha float64, x []float64) {
+	a.checkMulDims("MulVecAdd", y, x)
+	if w := par.Workers(); w > 1 && a.NNZ() >= spmvParMinNNZ {
+		par.ForSegments(a.rowPartition(w), func(lo, hi int) { a.mulAddRange(y, alpha, x, lo, hi) })
+		return
+	}
+	a.mulAddRange(y, alpha, x, 0, a.Rows)
+}
+
+// MulVecSub computes y -= A·x without allocating. It is the residual-update
+// kernel used by the Schur-complement right-hand-side construction.
+// Dimension rules and parallelism are as for MulVecTo.
+func (a *CSR) MulVecSub(y, x []float64) {
+	a.checkMulDims("MulVecSub", y, x)
+	if w := par.Workers(); w > 1 && a.NNZ() >= spmvParMinNNZ {
+		par.ForSegments(a.rowPartition(w), func(lo, hi int) { a.mulSubRange(y, x, lo, hi) })
+		return
+	}
+	a.mulSubRange(y, x, 0, a.Rows)
 }
 
 // Transpose returns Aᵀ with sorted rows.
@@ -200,15 +287,45 @@ func (a *CSR) Scale(s float64) {
 	}
 }
 
+// insertionSortMaxRow is the row length up to which SortRows uses the
+// allocation-free insertion sort. FEM and stencil rows (a handful of
+// entries) always stay below it.
+const insertionSortMaxRow = 32
+
+// insertionSortRow sorts a single row's (cols, vals) pairs by column.
+func insertionSortRow(cols []int, vals []float64) {
+	for i := 1; i < len(cols); i++ {
+		c, v := cols[i], vals[i]
+		j := i - 1
+		for j >= 0 && cols[j] > c {
+			cols[j+1], vals[j+1] = cols[j], vals[j]
+			j--
+		}
+		cols[j+1], vals[j+1] = c, v
+	}
+}
+
 // SortRows sorts the column indices within each row, keeping values
 // aligned. Constructors produce sorted rows already; this is for callers
-// that build RowPtr/ColIdx/Val by hand.
+// that build RowPtr/ColIdx/Val by hand. Short rows (the overwhelmingly
+// common case) are insertion-sorted with no allocation; one reused sorter
+// handles the rare long rows, so the whole pass allocates at most once
+// instead of once per row.
 func (a *CSR) SortRows() {
+	var s rowSorter
 	for i := 0; i < a.Rows; i++ {
 		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		if hi-lo < 2 {
+			continue
+		}
 		cols := a.ColIdx[lo:hi]
 		vals := a.Val[lo:hi]
-		sort.Sort(&rowSorter{cols, vals})
+		if hi-lo <= insertionSortMaxRow {
+			insertionSortRow(cols, vals)
+			continue
+		}
+		s.cols, s.vals = cols, vals
+		sort.Sort(&s)
 	}
 }
 

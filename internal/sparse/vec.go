@@ -1,25 +1,59 @@
 package sparse
 
-import "math"
+import (
+	"math"
+
+	"parapre/internal/par"
+)
 
 // Vector kernels. These are the three Krylov kernel families the paper
 // lists in §1: vector update, inner product, and (in csr.go) matrix-vector
 // product. All operate on raw []float64 so the distributed layer can reuse
 // them on local slices.
+//
+// Parallelism and determinism: the elementwise kernels (Axpy, Scal, Zero,
+// Sub) split into chunks and are exact for any chunking. The reductions
+// (Dot, Norm2) use the fixed-block scheme of package par — partial results
+// per par.BlockSize-wide block, combined in ascending block order — so
+// their values are bit-identical at every worker count, which keeps
+// iteration counts and residual histories independent of the parallel
+// configuration. Vectors no longer than one block follow exactly the
+// historical left-to-right accumulation.
 
-// Dot returns the inner product xᵀy.
+const (
+	// vecParMin is the vector length at which the elementwise kernels
+	// start fanning out; below it the goroutine overhead exceeds the
+	// memory-bound loop it would split.
+	vecParMin = 16384
+	// vecGrain is the minimum chunk length handed to one worker.
+	vecGrain = 8192
+)
+
+// Dot returns the inner product xᵀy (over the first len(x) entries).
 func Dot(x, y []float64) float64 {
-	var s float64
-	for i, v := range x {
-		s += v * y[i]
+	n := len(x)
+	if n <= par.BlockSize {
+		var s float64
+		for i, v := range x {
+			s += v * y[i]
+		}
+		return s
 	}
-	return s
+	return par.SumBlocks(n, func(lo, hi int) float64 {
+		xx, yy := x[lo:hi], y[lo:hi]
+		var s float64
+		for i, v := range xx {
+			s += v * yy[i]
+		}
+		return s
+	})
 }
 
-// Norm2 returns the Euclidean norm of x.
-func Norm2(x []float64) float64 {
-	// Scaled sum of squares for overflow safety on extreme inputs.
-	var scale, ssq float64 = 0, 1
+// scaledSSQ is the overflow-safe sum-of-squares recurrence over one block:
+// it returns (scale, ssq) with Σ x_i² = scale²·ssq. An all-zero block
+// reports scale 0.
+func scaledSSQ(x []float64) (scale, ssq float64) {
+	scale, ssq = 0, 1
 	for _, v := range x {
 		if v == 0 {
 			continue
@@ -32,15 +66,80 @@ func Norm2(x []float64) float64 {
 			ssq += (a / scale) * (a / scale)
 		}
 	}
+	return scale, ssq
+}
+
+// Norm2 returns the Euclidean norm of x, scaled for overflow safety on
+// extreme inputs. Long vectors are reduced blockwise with fixed block
+// boundaries (partials merged in block order), so the result is
+// bit-identical for every worker count.
+func Norm2(x []float64) float64 {
+	n := len(x)
+	if n <= par.BlockSize {
+		scale, ssq := scaledSSQ(x)
+		return scale * math.Sqrt(ssq)
+	}
+	nb := par.NumBlocks(n)
+	parts := make([][2]float64, nb)
+	par.For(nb, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo := b * par.BlockSize
+			hi := lo + par.BlockSize
+			if hi > n {
+				hi = n
+			}
+			s, q := scaledSSQ(x[lo:hi])
+			parts[b] = [2]float64{s, q}
+		}
+	})
+	var scale, ssq float64 = 0, 1
+	for _, p := range parts {
+		s2, q2 := p[0], p[1]
+		if s2 == 0 {
+			continue
+		}
+		if scale < s2 {
+			ssq = q2 + ssq*(scale/s2)*(scale/s2)
+			scale = s2
+		} else {
+			ssq += q2 * (s2 / scale) * (s2 / scale)
+		}
+	}
 	return scale * math.Sqrt(ssq)
 }
 
-// NormInf returns the maximum-magnitude entry of x.
+// NormInf returns the maximum-magnitude entry of x. The max is
+// order-independent, so the parallel chunking is exact.
 func NormInf(x []float64) float64 {
+	maxRange := func(x []float64) float64 {
+		var m float64
+		for _, v := range x {
+			if a := math.Abs(v); a > m {
+				m = a
+			}
+		}
+		return m
+	}
+	n := len(x)
+	if n < vecParMin || par.Workers() == 1 {
+		return maxRange(x)
+	}
+	nb := par.NumBlocks(n)
+	parts := make([]float64, nb)
+	par.For(nb, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo := b * par.BlockSize
+			hi := lo + par.BlockSize
+			if hi > n {
+				hi = n
+			}
+			parts[b] = maxRange(x[lo:hi])
+		}
+	})
 	var m float64
-	for _, v := range x {
-		if a := math.Abs(v); a > m {
-			m = a
+	for _, v := range parts {
+		if v > m {
+			m = v
 		}
 	}
 	return m
@@ -48,6 +147,15 @@ func NormInf(x []float64) float64 {
 
 // Axpy computes y += a·x.
 func Axpy(a float64, x, y []float64) {
+	if len(x) >= vecParMin {
+		par.For(len(x), vecGrain, func(lo, hi int) {
+			xx, yy := x[lo:hi], y[lo:hi]
+			for i, v := range xx {
+				yy[i] += a * v
+			}
+		})
+		return
+	}
 	for i, v := range x {
 		y[i] += a * v
 	}
@@ -55,8 +163,34 @@ func Axpy(a float64, x, y []float64) {
 
 // Scal computes x *= a.
 func Scal(a float64, x []float64) {
+	if len(x) >= vecParMin {
+		par.For(len(x), vecGrain, func(lo, hi int) {
+			xx := x[lo:hi]
+			for i := range xx {
+				xx[i] *= a
+			}
+		})
+		return
+	}
 	for i := range x {
 		x[i] *= a
+	}
+}
+
+// ScaleTo computes dst = a·src (lengths must match). It is the
+// normalization kernel of the Krylov basis construction.
+func ScaleTo(dst []float64, a float64, src []float64) {
+	if len(src) >= vecParMin {
+		par.For(len(src), vecGrain, func(lo, hi int) {
+			ss, dd := src[lo:hi], dst[lo:hi]
+			for i, v := range ss {
+				dd[i] = a * v
+			}
+		})
+		return
+	}
+	for i, v := range src {
+		dst[i] = a * v
 	}
 }
 
@@ -67,6 +201,15 @@ func CopyTo(dst, src []float64) {
 
 // Zero clears x.
 func Zero(x []float64) {
+	if len(x) >= vecParMin {
+		par.For(len(x), vecGrain, func(lo, hi int) {
+			xx := x[lo:hi]
+			for i := range xx {
+				xx[i] = 0
+			}
+		})
+		return
+	}
 	for i := range x {
 		x[i] = 0
 	}
@@ -75,6 +218,14 @@ func Zero(x []float64) {
 // Sub computes z = x − y into a fresh slice.
 func Sub(x, y []float64) []float64 {
 	z := make([]float64, len(x))
+	if len(x) >= vecParMin {
+		par.For(len(x), vecGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				z[i] = x[i] - y[i]
+			}
+		})
+		return z
+	}
 	for i := range x {
 		z[i] = x[i] - y[i]
 	}
