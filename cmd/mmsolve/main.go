@@ -45,7 +45,9 @@ func main() {
 		fatal(err)
 	}
 	a, err := mmio.ReadMatrix(mf)
-	mf.Close()
+	if cerr := mf.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -61,7 +63,9 @@ func main() {
 			fatal(err)
 		}
 		b, err = mmio.ReadVector(rf)
-		rf.Close()
+		if cerr := rf.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			fatal(err)
 		}

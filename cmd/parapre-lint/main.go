@@ -1,0 +1,129 @@
+// Command parapre-lint runs the project's static-analysis suite over Go
+// packages in this module. It is stdlib-only (go/parser + go/types with
+// a source importer) so it needs no tool dependencies beyond the Go
+// toolchain itself.
+//
+// Usage:
+//
+//	go run ./cmd/parapre-lint ./...
+//	go run ./cmd/parapre-lint -tags paranoid ./internal/sparse ./internal/krylov
+//	go run ./cmd/parapre-lint -list
+//
+// Exit status is 0 when no diagnostics are reported, 1 when at least one
+// is, and 2 on usage or load errors. Findings that are intentional are
+// suppressed in source with a documented directive:
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// placed on the flagged line or on its own line directly above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"parapre/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(argv []string) int {
+	fs := flag.NewFlagSet("parapre-lint", flag.ContinueOnError)
+	var (
+		tags    = fs.String("tags", "", "comma-separated build tags to enable (e.g. paranoid)")
+		list    = fs.Bool("list", false, "list analyzers and exit")
+		only    = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+		verbose = fs.Bool("v", false, "print each package as it is checked")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: parapre-lint [flags] <packages>\n\n")
+		fmt.Fprintf(fs.Output(), "Packages are directory paths relative to the module root; a\n")
+		fmt.Fprintf(fs.Output(), "trailing /... recurses (testdata, vendor and hidden dirs are skipped).\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		analyzers = selectAnalyzers(analyzers, *only)
+		if analyzers == nil {
+			fmt.Fprintf(os.Stderr, "parapre-lint: unknown analyzer in -only=%s\n", *only)
+			return 2
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parapre-lint: %v\n", err)
+		return 2
+	}
+	for _, t := range strings.Split(*tags, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			loader.Tags[t] = true
+		}
+	}
+
+	dirs, err := loader.ExpandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parapre-lint: %v\n", err)
+		return 2
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintf(os.Stderr, "parapre-lint: no packages match %s\n", strings.Join(patterns, " "))
+		return 2
+	}
+
+	failed := false
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parapre-lint: %v\n", err)
+			return 2
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "checking %s\n", pkg.Path)
+		}
+		for _, d := range lint.RunPackage(pkg, analyzers) {
+			failed = true
+			fmt.Println(d)
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(all []*lint.Analyzer, names string) []*lint.Analyzer {
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, n := range strings.Split(names, ",") {
+		a := byName[strings.TrimSpace(n)]
+		if a == nil {
+			return nil
+		}
+		out = append(out, a)
+	}
+	return out
+}

@@ -20,6 +20,7 @@ import (
 
 	"parapre/internal/dist"
 	"parapre/internal/par"
+	"parapre/internal/paranoid"
 	"parapre/internal/sparse"
 )
 
@@ -255,6 +256,7 @@ const tagExchange = 100
 // NLoc+NExt, owned values in ext[:NLoc] already filled by the caller) by
 // exchanging interface values with all neighbors through c.
 func (s *System) Exchange(c *dist.Comm, ext []float64) {
+	paranoid.CheckLen("dsys: Exchange ext", len(ext), s.NLoc()+s.NExt())
 	buf := make([]float64, 0, 64)
 	for _, nb := range s.Neigh {
 		if len(nb.SendIdx) == 0 {
@@ -271,6 +273,7 @@ func (s *System) Exchange(c *dist.Comm, ext []float64) {
 			continue
 		}
 		got := c.Recv(nb.Rank, tagExchange)
+		paranoid.CheckLen("dsys: Exchange recv block", len(got), nb.RecvLen)
 		copy(ext[s.NLoc()+nb.RecvOff:s.NLoc()+nb.RecvOff+nb.RecvLen], got)
 	}
 }
@@ -280,6 +283,8 @@ func (s *System) Exchange(c *dist.Comm, ext []float64) {
 // fetched from the neighbors. ext must have length NLoc+NExt and is used
 // as scratch.
 func (s *System) MatVec(c *dist.Comm, y, x, ext []float64) {
+	paranoid.CheckMinLen("dsys: MatVec x", len(x), s.NLoc())
+	paranoid.CheckMinLen("dsys: MatVec y", len(y), s.NLoc())
 	copy(ext, x)
 	s.Exchange(c, ext)
 	s.A.MulVecTo(y, ext)

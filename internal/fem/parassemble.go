@@ -3,6 +3,7 @@ package fem
 import (
 	"parapre/internal/grid"
 	"parapre/internal/par"
+	"parapre/internal/paranoid"
 	"parapre/internal/sparse"
 )
 
@@ -56,7 +57,10 @@ func assemble(m *grid.Mesh, dofs, nnzCap int, kernel func(e int, s *sink)) (*spa
 		for k, i := range s.rhsI {
 			rhs[i] += s.rhsV[k]
 		}
-		return s.coo.ToCSR(), rhs
+		a := s.coo.ToCSR()
+		a.Validate()
+		paranoid.CheckFiniteVec("fem: assembled rhs", rhs)
+		return a, rhs
 	}
 
 	sinks := make([]*sink, w)
@@ -84,5 +88,8 @@ func assemble(m *grid.Mesh, dofs, nnzCap int, kernel func(e int, s *sink)) (*spa
 			rhs[i] += s.rhsV[k]
 		}
 	}
-	return sparse.FromTriplets(dofs, dofs, is, js, vs), rhs
+	a := sparse.FromTriplets(dofs, dofs, is, js, vs)
+	a.Validate()
+	paranoid.CheckFiniteVec("fem: assembled rhs", rhs)
+	return a, rhs
 }

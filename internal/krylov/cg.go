@@ -1,6 +1,10 @@
 package krylov
 
-import "math"
+import (
+	"math"
+
+	"parapre/internal/paranoid"
+)
 
 // CG solves A·x = b for symmetric positive definite A with preconditioned
 // conjugate gradients. x holds the initial guess on entry and the
@@ -23,6 +27,12 @@ func CG(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options) Re
 	}
 	opt.charge(nf)
 	res.Initial = math.Sqrt(math.Max(dot(r, r), 0))
+	if !finite(res.Initial) {
+		res.Breakdown = true
+		res.Err = breakdownErr("CG", 0, "residual norm", res.Initial)
+		res.Final = res.Initial
+		return res
+	}
 	if opt.RecordHistory {
 		res.History = append(res.History, res.Initial)
 	}
@@ -34,19 +44,30 @@ func CG(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options) Re
 
 	if precond != nil {
 		precond(z, r)
+		paranoid.CheckFiniteVec("krylov: CG preconditioned residual", z)
 	} else {
 		copy(z, r)
 	}
 	copy(p, z)
 	rz := dot(r, z)
+	paranoid.CheckFinite("krylov: CG r·z", rz)
 
 	for it := 0; it < opt.MaxIters; it++ {
 		matvec(ap, p)
 		pap := dot(p, ap)
+		if !finite(pap) || !finite(rz) {
+			res.Breakdown = true
+			res.Err = breakdownErr("CG", it+1, "curvature p·Ap", pap)
+			res.Final = math.NaN()
+			res.Iterations = it
+			return res
+		}
 		if pap <= 0 {
 			// Not SPD (or breakdown): bail out with the current iterate.
 			res.Breakdown = true
+			res.Err = breakdownErr("CG", it+1, "curvature p·Ap", pap)
 			res.Final = math.Sqrt(math.Max(dot(r, r), 0))
+			res.Iterations = it
 			return res
 		}
 		alpha := rz / pap
@@ -67,6 +88,7 @@ func CG(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options) Re
 		}
 		if precond != nil {
 			precond(z, r)
+			paranoid.CheckFiniteVec("krylov: CG preconditioned residual", z)
 		} else {
 			copy(z, r)
 		}

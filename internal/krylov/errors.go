@@ -1,0 +1,41 @@
+package krylov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBreakdown is the sentinel all solver breakdown errors wrap. Callers
+// test for it with errors.Is(res.Err, krylov.ErrBreakdown).
+var ErrBreakdown = errors.New("krylov: breakdown")
+
+// BreakdownError describes where and why an iteration broke down: a
+// Givens rotation annihilated to zero (Krylov space exhausted), an inner
+// product or norm went NaN/Inf (poisoned operator, singular
+// preconditioner), or CG met a non-positive curvature direction. It wraps
+// ErrBreakdown.
+type BreakdownError struct {
+	Method    string  // "GMRES", "FGMRES" or "CG"
+	Iteration int     // matrix-vector products performed when detected
+	Quantity  string  // the scalar that triggered detection
+	Value     float64 // its offending value
+}
+
+func (e *BreakdownError) Error() string {
+	return fmt.Sprintf("krylov: %s breakdown at iteration %d: %s = %v",
+		e.Method, e.Iteration, e.Quantity, e.Value)
+}
+
+// Unwrap makes errors.Is(e, ErrBreakdown) true.
+func (e *BreakdownError) Unwrap() error { return ErrBreakdown }
+
+// breakdownErr builds the solver-side breakdown record.
+func breakdownErr(method string, iter int, quantity string, value float64) *BreakdownError {
+	return &BreakdownError{Method: method, Iteration: iter, Quantity: quantity, Value: value}
+}
+
+// finite reports whether v is neither NaN nor ±Inf.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

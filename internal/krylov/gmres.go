@@ -16,6 +16,7 @@ package krylov
 import (
 	"math"
 
+	"parapre/internal/paranoid"
 	"parapre/internal/sparse"
 )
 
@@ -61,6 +62,13 @@ type Result struct {
 	Final      float64   // final (estimated) residual norm
 	Breakdown  bool      // lucky/unlucky breakdown encountered
 	History    []float64 // per-iteration residual norms (with RecordHistory; History[0] is the initial norm)
+
+	// Err is non-nil when the solve ended on a breakdown that did not
+	// converge: a NaN/Inf inner product or norm, an annihilated Givens
+	// rotation, or (for CG) a non-positive curvature direction. It wraps
+	// ErrBreakdown and records the iteration index — see BreakdownError.
+	// A lucky breakdown (exact solution found early) leaves Err nil.
+	Err error
 }
 
 func (o *Options) charge(flops float64) {
@@ -81,6 +89,10 @@ func GMRES(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options)
 	}
 	m := opt.Restart
 	nf := float64(n)
+	method := "GMRES"
+	if opt.Flexible {
+		method = "FGMRES"
+	}
 
 	// Krylov basis; Z additionally holds the preconditioned vectors for
 	// the flexible variant.
@@ -123,6 +135,13 @@ func GMRES(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options)
 		}
 		opt.charge(nf)
 		beta := norm(r)
+		if !finite(beta) {
+			res.Breakdown = true
+			res.Err = breakdownErr(method, totalIters, "residual norm", beta)
+			res.Final = beta
+			res.Iterations = totalIters
+			return res
+		}
 		if ref == 0 {
 			ref = beta
 			res.Initial = beta
@@ -159,9 +178,11 @@ func GMRES(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options)
 			if precond != nil {
 				if Z != nil {
 					precond(Z[j], vj)
+					paranoid.CheckFiniteVec("krylov: preconditioned basis vector", Z[j])
 					matvec(w, Z[j])
 				} else {
 					precond(z, vj)
+					paranoid.CheckFiniteVec("krylov: preconditioned basis vector", z)
 					matvec(w, z)
 				}
 			} else {
@@ -172,11 +193,22 @@ func GMRES(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options)
 			// Modified Gram–Schmidt.
 			for i := 0; i <= j; i++ {
 				h := dot(w, V[i])
+				paranoid.CheckFinite("krylov: Gram-Schmidt coefficient", h)
 				H[i+j*(m+1)] = h
 				sparse.Axpy(-h, V[i], w)
 				opt.charge(2 * nf)
 			}
 			hn := norm(w)
+			if !finite(hn) {
+				// A NaN anywhere in the new basis vector (poisoned operator
+				// or preconditioner) surfaces here; the current iterate is
+				// the last restart's and the recurrence is unrecoverable.
+				res.Breakdown = true
+				res.Err = breakdownErr(method, totalIters, "Arnoldi basis norm", hn)
+				res.Final = math.NaN()
+				res.Iterations = totalIters
+				return res
+			}
 			H[j+1+j*(m+1)] = hn
 			if hn > 0 {
 				sparse.ScaleTo(V[j+1], 1/hn, w)
@@ -193,9 +225,13 @@ func GMRES(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options)
 			hj, hj1 := H[j+j*(m+1)], H[j+1+j*(m+1)]
 			rho := math.Hypot(hj, hj1)
 			if rho == 0 {
-				// Breakdown: the Krylov space is exhausted.
+				// Breakdown: the Krylov space is exhausted. The new column
+				// is identically zero after the previous rotations, so it
+				// is excluded from the least-squares solve (its diagonal
+				// would divide by zero) and the iterate is updated from the
+				// columns accumulated so far.
 				res.Breakdown = true
-				j++
+				res.Err = breakdownErr(method, totalIters, "Givens rotation magnitude", 0)
 				break
 			}
 			cs[j], sn[j] = hj/rho, hj1/rho
@@ -213,6 +249,7 @@ func GMRES(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options)
 			}
 			if hn == 0 {
 				res.Breakdown = true
+				res.Err = breakdownErr(method, totalIters, "Arnoldi basis norm", 0)
 				j++
 				break
 			}
@@ -254,13 +291,18 @@ func GMRES(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options)
 		res.Iterations = totalIters
 
 		if res.Breakdown {
-			// Recompute the true residual and return.
+			// Recompute the true residual and return. A lucky breakdown —
+			// the exact solution emerged before the space was exhausted —
+			// converges here and is not an error.
 			matvec(r, x)
 			for i := range r {
 				r[i] = b[i] - r[i]
 			}
 			res.Final = norm(r)
 			res.Converged = res.Final <= opt.Tol*ref
+			if res.Converged {
+				res.Err = nil
+			}
 			return res
 		}
 	}

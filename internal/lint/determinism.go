@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism guards the fixed-block bit-identity contract of the
+// numeric packages: a result must depend only on the input, never on map
+// iteration order, the clock, or a random source. It flags, inside the
+// kernel packages listed in deterministicPkgs:
+//
+//   - range over a map whose body feeds floating-point state — writing
+//     through a float slice, or assigning/appending to a float-typed
+//     variable declared outside the loop (an accumulator);
+//   - any call to time.Now;
+//   - any call into math/rand or math/rand/v2.
+//
+// Maps are fine for membership tests and for collecting keys that are
+// sorted before numeric use — only float-flow out of the iteration is
+// flagged.
+var Determinism = &Analyzer{
+	Name:    "determinism",
+	Doc:     "map iteration, time.Now or math/rand feeding numeric state in kernel packages",
+	Applies: inDeterministicPkg,
+	Run:     runDeterminism,
+}
+
+// deterministicPkgs are the packages under the bit-identity contract
+// (DESIGN.md §7): everything a solver result can depend on.
+var deterministicPkgs = map[string]bool{
+	"sparse": true, "fem": true, "krylov": true, "par": true, "dsys": true,
+	"precond": true, "schur": true, "ilu": true, "arms": true,
+}
+
+func inDeterministicPkg(pkgPath string) bool {
+	_, rest, ok := strings.Cut(pkgPath, "/internal/")
+	return ok && deterministicPkgs[rest]
+}
+
+func runDeterminism(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.RangeStmt:
+				if t := p.Info.TypeOf(node.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap && mapRangeFeedsFloats(p, node) {
+						out = append(out, diag(p, node.For, "determinism",
+							"map iteration order feeds floating-point state: iterate a sorted key slice instead"))
+					}
+				}
+			case *ast.CallExpr:
+				if f := calleeFunc(p, node); f != nil && f.Pkg() != nil {
+					switch path := f.Pkg().Path(); {
+					case path == "time" && f.Name() == "Now":
+						out = append(out, diag(p, node.Pos(), "determinism",
+							"time.Now in a kernel package: results must be a function of the input only"))
+					case path == "math/rand" || path == "math/rand/v2":
+						out = append(out, diag(p, node.Pos(), "determinism",
+							"math/rand in a kernel package: inject a seeded source from the caller instead"))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// mapRangeFeedsFloats reports whether the body of a map-range statement
+// writes floating-point state: through an index into a float slice, or
+// into a float (or float-slice) variable declared outside the loop.
+func mapRangeFeedsFloats(p *Package, rs *ast.RangeStmt) bool {
+	found := false
+	check := func(lhs ast.Expr) {
+		switch target := lhs.(type) {
+		case *ast.IndexExpr:
+			if t := p.Info.TypeOf(target.X); t != nil && isFloatDeep(t) {
+				found = true
+			}
+		case *ast.Ident:
+			if target.Name == "_" {
+				return
+			}
+			obj := p.Info.ObjectOf(target)
+			if obj == nil || within(obj.Pos(), rs) {
+				return // loop-local temporary
+			}
+			if isFloatDeep(obj.Type()) {
+				found = true
+			}
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range stmt.Lhs {
+				check(lhs)
+			}
+		case *ast.IncDecStmt:
+			check(stmt.X)
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// DimGuard checks that exported kernel entry points in internal/sparse
+// that index into caller-provided slices carry a length/dimension check
+// near the top of the function. The hot kernels deliberately index with
+// computed positions (column indices, permutations, partitions); an
+// early, explicit guard turns a silent out-of-bounds read on a
+// mis-dimensioned call into a descriptive panic at the entry point.
+//
+// An index is considered safe without a guard when it provably stays in
+// range: p[i] where i ranges over p itself, or a `for i := 0; i < len(p)`
+// loop index. A guard is any of the first few statements that calls a
+// check helper ((?i)check|valid|guard|dims|assert) or tests len() of a
+// slice parameter.
+var DimGuard = &Analyzer{
+	Name:    "dimguard",
+	Doc:     "exported sparse kernels indexing caller slices without a dimension check near the top",
+	Applies: func(pkgPath string) bool { return strings.HasSuffix(pkgPath, "internal/sparse") },
+	Run:     runDimGuard,
+}
+
+// dimGuardWindow is how many leading top-level statements may hold the
+// guard: "near the top", not buried after the work started.
+const dimGuardWindow = 8
+
+var guardNameRE = regexp.MustCompile(`(?i)check|valid|guard|dims|assert`)
+
+func runDimGuard(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			params := sliceParams(p, fd)
+			if len(params) == 0 {
+				continue
+			}
+			unsafe := unsafeParamIndexes(p, fd, params)
+			if len(unsafe) == 0 || hasDimGuard(p, fd, params) {
+				continue
+			}
+			out = append(out, diag(p, fd.Name.Pos(), "dimguard",
+				"exported kernel %s indexes caller slice(s) %s without a dimension check near the top",
+				fd.Name.Name, strings.Join(unsafe, ", ")))
+		}
+	}
+	return out
+}
+
+// sliceParams returns the function's slice-typed parameter objects.
+func sliceParams(p *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	params := map[types.Object]bool{}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := p.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+				params[obj] = true
+			}
+		}
+	}
+	return params
+}
+
+// unsafeParamIndexes returns the names of slice parameters indexed with a
+// subscript that is not provably in range.
+func unsafeParamIndexes(p *Package, fd *ast.FuncDecl, params map[types.Object]bool) []string {
+	type pair struct{ base, idx types.Object }
+	safe := map[pair]bool{}
+
+	// First pass: collect provably-in-range (slice, index) pairs.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			// for i := range p  /  for i, v := range p
+			x, okX := s.X.(*ast.Ident)
+			k, okK := s.Key.(*ast.Ident)
+			if okX && okK && k.Name != "_" {
+				if bo, ko := p.Info.ObjectOf(x), p.Info.ObjectOf(k); bo != nil && ko != nil {
+					safe[pair{bo, ko}] = true
+				}
+			}
+		case *ast.ForStmt:
+			// for i := 0; i < len(p); i++  (also <=, which a guard must
+			// still justify — only < is accepted as provably in range)
+			if be, ok := s.Cond.(*ast.BinaryExpr); ok && be.Op.String() == "<" {
+				i, okI := be.X.(*ast.Ident)
+				call, okC := be.Y.(*ast.CallExpr)
+				if okI && okC && len(call.Args) == 1 {
+					if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "len" {
+						if base, ok := call.Args[0].(*ast.Ident); ok {
+							if bo, io := p.Info.ObjectOf(base), p.Info.ObjectOf(i); bo != nil && io != nil {
+								safe[pair{bo, io}] = true
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Second pass: find indexes of slice params not covered by a safe pair.
+	seen := map[string]bool{}
+	var names []string
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ie, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		base, ok := ast.Unparen(ie.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		bo := p.Info.ObjectOf(base)
+		if bo == nil || !params[bo] {
+			return true
+		}
+		if idx, ok := ast.Unparen(ie.Index).(*ast.Ident); ok {
+			if io := p.Info.ObjectOf(idx); io != nil && safe[pair{bo, io}] {
+				return true
+			}
+		}
+		if !seen[base.Name] {
+			seen[base.Name] = true
+			names = append(names, base.Name)
+		}
+		return true
+	})
+	return names
+}
+
+// hasDimGuard reports whether one of the first dimGuardWindow top-level
+// statements checks dimensions: a call to a (?i)check/valid/guard helper,
+// or an if-condition testing len() of a slice parameter. len() used for
+// allocation (make([]T, len(p))) is not a check and does not count.
+func hasDimGuard(p *Package, fd *ast.FuncDecl, params map[types.Object]bool) bool {
+	lenOfParam := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && fn.Name == "len" && len(call.Args) == 1 {
+				if arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+					if obj := p.Info.ObjectOf(arg); obj != nil && params[obj] {
+						found = true
+					}
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	stmts := fd.Body.List
+	if len(stmts) > dimGuardWindow {
+		stmts = stmts[:dimGuardWindow]
+	}
+	for _, stmt := range stmts {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.IfStmt:
+				if lenOfParam(node.Cond) {
+					found = true
+				}
+			case *ast.CallExpr:
+				switch fn := ast.Unparen(node.Fun).(type) {
+				case *ast.Ident:
+					if guardNameRE.MatchString(fn.Name) {
+						found = true
+					}
+				case *ast.SelectorExpr:
+					if guardNameRE.MatchString(fn.Sel.Name) {
+						found = true
+					}
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags call statements that silently discard an error result.
+// An error assigned to the blank identifier (`_ = f()`) counts as an
+// explicit, reviewable decision and is not flagged; a bare call
+// statement is invisible at the call site and is. Deferred calls
+// (`defer f.Close()`) follow the standard-library cleanup idiom and are
+// accepted.
+//
+// Excluded by convention: the fmt print family (diagnostic output; the
+// returned error is about the writer, which for the os.Std* streams has
+// no useful handling) and the never-failing writers strings.Builder and
+// bytes.Buffer.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "call statements discarding an error return in non-test code",
+	Run:  runErrDrop,
+}
+
+// errDropExcludedFuncs are exact *types.Func full names whose dropped
+// error is accepted.
+var errDropExcludedFuncs = map[string]bool{
+	"fmt.Print": true, "fmt.Printf": true, "fmt.Println": true,
+	"fmt.Fprint": true, "fmt.Fprintf": true, "fmt.Fprintln": true,
+}
+
+// errDropExcludedRecvs are receiver prefixes whose methods never return a
+// meaningful error.
+var errDropExcludedRecvs = []string{
+	"(*strings.Builder).",
+	"(*bytes.Buffer).",
+}
+
+func runErrDrop(p *Package) []Diagnostic {
+	errType := types.Universe.Lookup("error").Type()
+	returnsError := func(call *ast.CallExpr) bool {
+		switch t := p.Info.TypeOf(call).(type) {
+		case *types.Tuple:
+			for i := 0; i < t.Len(); i++ {
+				if types.Identical(t.At(i).Type(), errType) {
+					return true
+				}
+			}
+		case types.Type:
+			return types.Identical(t, errType)
+		}
+		return false
+	}
+
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+			if !ok || !returnsError(call) {
+				return true
+			}
+			name := "call"
+			if fn := calleeFunc(p, call); fn != nil {
+				full := fn.FullName()
+				if errDropExcludedFuncs[full] {
+					return true
+				}
+				for _, prefix := range errDropExcludedRecvs {
+					if strings.HasPrefix(full, prefix) {
+						return true
+					}
+				}
+				name = full
+			}
+			out = append(out, diag(p, call.Pos(), "errdrop",
+				"%s returns an error that is discarded: handle it or assign it to _ deliberately", name))
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// FloatCmp flags == and != between floating-point operands. Exact float
+// equality is almost always a tolerance bug in numerical code; the one
+// idiomatic exception — comparing against an exact constant zero to guard
+// a division or detect an unwritten entry — is allowed. Deliberate
+// bit-exact comparisons (determinism tests promoted into library code)
+// are suppressed with //lint:ignore floatcmp <reason>.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "==/!= on float operands outside test files (exact-zero comparisons excepted)",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, ty := p.Info.TypeOf(be.X), p.Info.TypeOf(be.Y)
+			if tx == nil || ty == nil || (!isFloat(tx) && !isFloat(ty)) {
+				return true
+			}
+			if isZeroConst(p, be.X) || isZeroConst(p, be.Y) {
+				return true
+			}
+			out = append(out, diag(p, be.OpPos, "floatcmp",
+				"%s on float operands: compare with a tolerance, or document bit-exactness with //lint:ignore", be.Op))
+			return true
+		})
+	}
+	return out
+}
+
+// isZeroConst reports whether e is a compile-time numeric constant equal
+// to zero.
+func isZeroConst(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

@@ -1,0 +1,190 @@
+// Package lint is the project's custom static-analysis suite: a small,
+// dependency-free analyzer framework (go/ast + go/types only) plus five
+// project-specific analyzers that enforce the numerical and concurrency
+// invariants this codebase promises — bit-identical reductions at any
+// worker count, dimension-checked kernel entry points, no silent float
+// equality, no discarded errors.
+//
+// The analyzers:
+//
+//	floatcmp    ==/!= between float operands (exact-zero tests excepted)
+//	determinism map iteration, time.Now or math/rand feeding numeric
+//	            state in the numeric kernel packages
+//	dimguard    exported sparse kernels indexing caller slices without a
+//	            dimension check near the top
+//	sharedwrite writes to captured variables inside par worker closures
+//	            without a per-worker index
+//	errdrop     discarded error returns
+//
+// False positives are suppressed, with a mandatory reason, by
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed on the flagged line or the line directly above it. An ignore
+// without a reason is itself reported. The driver is cmd/parapre-lint.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check over a loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	// Applies restricts the analyzer to certain import paths; nil means
+	// every package. The driver consults it; tests calling Run directly
+	// on fixture packages bypass it.
+	Applies func(pkgPath string) bool
+
+	Run func(p *Package) []Diagnostic
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{FloatCmp, Determinism, DimGuard, SharedWrite, ErrDrop}
+}
+
+// RunPackage runs every applicable analyzer on p and returns the
+// diagnostics that survive //lint:ignore filtering, plus a diagnostic for
+// each malformed ignore comment.
+func RunPackage(p *Package, analyzers []*Analyzer) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	ignores, malformed := collectIgnores(p, known)
+
+	var out []Diagnostic
+	out = append(out, malformed...)
+	for _, a := range analyzers {
+		if a.Applies != nil && !a.Applies(p.Path) {
+			continue
+		}
+		for _, d := range a.Run(p) {
+			if ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectIgnores scans the package's comments for //lint:ignore
+// directives. A well-formed directive names one or more known analyzers
+// (comma-separated) and gives a non-empty reason; it suppresses those
+// analyzers on its own line and the line directly below. Malformed
+// directives are returned as diagnostics so they cannot silently rot.
+func collectIgnores(p *Package, known map[string]bool) (map[ignoreKey]bool, []Diagnostic) {
+	ignores := map[ignoreKey]bool{}
+	var malformed []Diagnostic
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed ignore: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
+					})
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				bad := false
+				for _, name := range names {
+					if !known[name] {
+						malformed = append(malformed, Diagnostic{
+							Analyzer: "lint",
+							Pos:      pos,
+							Message:  fmt.Sprintf("ignore names unknown analyzer %q", name),
+						})
+						bad = true
+					}
+				}
+				if bad {
+					continue
+				}
+				for _, name := range names {
+					ignores[ignoreKey{pos.Filename, pos.Line, name}] = true
+					ignores[ignoreKey{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	return ignores, malformed
+}
+
+// diag builds a Diagnostic at pos.
+func diag(p *Package, pos token.Pos, analyzer, format string, args ...any) Diagnostic {
+	return Diagnostic{Analyzer: analyzer, Pos: p.Fset.Position(pos), Message: fmt.Sprintf(format, args...)}
+}
+
+// isFloat reports whether t is (an alias of) a floating-point basic type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isFloatDeep reports whether t is a float or a slice/array nesting of
+// floats ([]float64, [][]float64, [4]float32, …).
+func isFloatDeep(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsFloat != 0
+	case *types.Slice:
+		return isFloatDeep(u.Elem())
+	case *types.Array:
+		return isFloatDeep(u.Elem())
+	}
+	return false
+}
+
+// calleeFunc resolves the called function or method of a call expression,
+// or nil for indirect calls, conversions and builtins.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := p.Info.Uses[fn].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := p.Info.Uses[fn.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// within reports whether pos falls inside node's source range.
+func within(pos token.Pos, node ast.Node) bool {
+	return pos >= node.Pos() && pos <= node.End()
+}

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SharedWrite looks inside the worker closures handed to par.Run, par.For
+// and par.ForSegments for writes that are not isolated per worker: an
+// assignment to a variable captured from the enclosing scope, or a write
+// through a captured slice at an index that does not involve anything the
+// closure itself defines (its worker/range parameters or loop variables).
+// Both are data races, and even under a mutex they would reintroduce the
+// scheduling-order dependence the deterministic reduction layer exists to
+// remove. The sanctioned patterns — out[t] = …, per-block slots
+// partials[b], per-range y[i] with i from the [lo, hi) arguments — all
+// index with closure-derived values and stay silent.
+var SharedWrite = &Analyzer{
+	Name: "sharedwrite",
+	Doc:  "writes to captured state inside par worker closures without a per-worker index",
+	Run:  runSharedWrite,
+}
+
+// parWorkerFuncs are the entry points whose closure argument runs
+// concurrently on the worker pool.
+var parWorkerFuncs = map[string]bool{"Run": true, "For": true, "ForSegments": true}
+
+func runSharedWrite(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil ||
+				!strings.HasSuffix(fn.Pkg().Path(), "internal/par") || !parWorkerFuncs[fn.Name()] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if fl, ok := arg.(*ast.FuncLit); ok {
+					out = append(out, checkWorkerBody(p, fn.Name(), fl)...)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkWorkerBody flags shared writes inside one worker closure.
+func checkWorkerBody(p *Package, parFn string, fl *ast.FuncLit) []Diagnostic {
+	var out []Diagnostic
+	flag := func(lhs ast.Expr) {
+		switch target := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if target.Name == "_" {
+				return
+			}
+			if obj := p.Info.ObjectOf(target); obj != nil && !within(obj.Pos(), fl) {
+				out = append(out, diag(p, target.Pos(), "sharedwrite",
+					"assignment to captured %q inside par.%s worker: every worker races on it; use a per-worker slot",
+					target.Name, parFn))
+			}
+		case *ast.IndexExpr:
+			base, ok := ast.Unparen(target.X).(*ast.Ident)
+			if !ok {
+				return
+			}
+			obj := p.Info.ObjectOf(base)
+			if obj == nil || within(obj.Pos(), fl) {
+				return // closure-local slice: private by construction
+			}
+			if indexUsesClosureLocal(p, target.Index, fl) {
+				return // per-worker / per-range slot
+			}
+			out = append(out, diag(p, target.Pos(), "sharedwrite",
+				"write to captured slice %q at a worker-independent index inside par.%s worker",
+				base.Name, parFn))
+		case *ast.SelectorExpr:
+			if root := rootIdent(target); root != nil {
+				if obj := p.Info.ObjectOf(root); obj != nil && !within(obj.Pos(), fl) {
+					out = append(out, diag(p, target.Pos(), "sharedwrite",
+						"write to field of captured %q inside par.%s worker: every worker races on it",
+						root.Name, parFn))
+				}
+			}
+		}
+	}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range stmt.Lhs {
+				flag(lhs)
+			}
+		case *ast.IncDecStmt:
+			flag(stmt.X)
+		}
+		return true
+	})
+	return out
+}
+
+// indexUsesClosureLocal reports whether the index expression references
+// at least one identifier declared inside the closure — its worker/range
+// parameters or derived loop variables — making the written slot
+// worker-dependent.
+func indexUsesClosureLocal(p *Package, idx ast.Expr, fl *ast.FuncLit) bool {
+	uses := false
+	ast.Inspect(idx, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := p.Info.ObjectOf(id); obj != nil && obj.Pos().IsValid() && within(obj.Pos(), fl) {
+			uses = true
+		}
+		return !uses
+	})
+	return uses
+}
+
+// rootIdent unwraps selector/index chains (a.b[i].c → a) to the root
+// identifier, or nil if the root is not a plain identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

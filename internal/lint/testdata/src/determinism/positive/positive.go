@@ -1,0 +1,39 @@
+// Package positive holds code every determinism run must flag.
+package positive
+
+import (
+	"math/rand"
+	"time"
+)
+
+// FlattenMap writes float values out of a map iteration: the output
+// ordering depends on Go's randomized map walk.
+func FlattenMap(m map[int]float64, out []float64) {
+	i := 0
+	for _, v := range m { // WANT determinism
+		out[i] = v
+		i++
+	}
+}
+
+// SumMap accumulates floats in map order; float addition is not
+// associative, so the sum depends on the walk.
+func SumMap(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // WANT determinism
+		s += v
+	}
+	return s
+}
+
+// Perturb injects the global random source into a numeric slice.
+func Perturb(x []float64) {
+	for i := range x {
+		x[i] += rand.Float64() // WANT determinism
+	}
+}
+
+// Stamp leaks the wall clock into a numeric result.
+func Stamp() float64 {
+	return float64(time.Now().UnixNano()) // WANT determinism
+}

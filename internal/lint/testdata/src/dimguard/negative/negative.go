@@ -1,0 +1,55 @@
+// Package negative holds code dimguard must stay silent on.
+package negative
+
+import "fmt"
+
+// Gather carries the guard dimguard asks for.
+func Gather(p []int, x []float64) []float64 {
+	if len(x) < len(p) {
+		panic(fmt.Sprintf("gather: len(x)=%d < len(p)=%d", len(x), len(p)))
+	}
+	y := make([]float64, len(p))
+	for i, v := range p {
+		y[i] = x[v]
+	}
+	return y
+}
+
+// Scale only indexes the slice it ranges over: provably in range.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Zero bounds its loop by the slice's own length: provably in range.
+func Zero(x []float64) {
+	for i := 0; i < len(x); i++ {
+		x[i] = 0
+	}
+}
+
+// Block is a toy kernel state.
+type Block struct{ n int }
+
+func (b *Block) checkDims(y []float64) {
+	if len(y) < b.n {
+		panic("block: y shorter than dimension")
+	}
+}
+
+// Apply delegates its guard to a named check helper, like the CSR
+// kernels do with checkMulDims.
+func (b *Block) Apply(y []float64) {
+	b.checkDims(y)
+	for i := 0; i < b.n; i++ {
+		y[i] = 0
+	}
+}
+
+// scatter is unexported: in-package callers own the contract.
+func scatter(p []int, x, y []float64) {
+	for i, v := range p {
+		y[v] = x[i]
+	}
+}

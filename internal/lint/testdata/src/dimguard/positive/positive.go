@@ -1,0 +1,30 @@
+// Package positive holds code every dimguard run must flag.
+package positive
+
+// Gather indexes x through a permutation with no check that x is long
+// enough: a mis-dimensioned call reads out of bounds deep in the loop.
+func Gather(p []int, x []float64) []float64 { // WANT dimguard
+	y := make([]float64, len(p))
+	for i, v := range p {
+		y[i] = x[v]
+	}
+	return y
+}
+
+// AddInto writes through y with an index derived from a different slice.
+func AddInto(y, x []float64) { // WANT dimguard
+	for i, v := range x {
+		y[i] += v
+	}
+}
+
+// Block is a toy kernel state.
+type Block struct{ n int }
+
+// Apply indexes the caller's slice against the receiver's dimension
+// without comparing the two.
+func (b *Block) Apply(y []float64) { // WANT dimguard
+	for i := 0; i < b.n; i++ {
+		y[i] = 0
+	}
+}

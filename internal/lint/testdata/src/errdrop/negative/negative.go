@@ -1,0 +1,48 @@
+// Package negative holds code errdrop must stay silent on.
+package negative
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Persist handles or explicitly discards every error.
+func Persist(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // deferred cleanup idiom: accepted
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close() // explicitly discarded: the Sync error wins
+		return err
+	}
+	return nil
+}
+
+// Report prints diagnostics through the excluded fmt family.
+func Report(n int) {
+	fmt.Println("n =", n)
+	fmt.Fprintf(os.Stderr, "n = %d\n", n)
+}
+
+// Build writes into a strings.Builder, which never fails.
+func Build(parts []string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		b.WriteString(p)
+	}
+	return b.String()
+}
+
+// pureCall returns no error at all.
+func pureCall(x int) int { return x * x }
+
+// Chain drops only non-error results.
+func Chain() {
+	pureCall(3)
+}

@@ -1,0 +1,21 @@
+// Package positive holds code every errdrop run must flag.
+package positive
+
+import "os"
+
+// Persist drops both the sync and the close error: data loss would be
+// silent.
+func Persist(path string, data []byte) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	f.Write(data) // WANT errdrop
+	f.Sync()      // WANT errdrop
+	f.Close()     // WANT errdrop
+}
+
+// Cleanup ignores the removal error.
+func Cleanup(path string) {
+	os.Remove(path) // WANT errdrop
+}

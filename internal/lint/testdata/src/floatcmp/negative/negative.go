@@ -1,0 +1,24 @@
+// Package negative holds code floatcmp must stay silent on.
+package negative
+
+import "math"
+
+// GuardZero is the allowed idiom: an exact-zero test before a division.
+func GuardZero(pivot float64) bool {
+	return pivot == 0
+}
+
+// SkipZero tests != against exact zero (unwritten entry detection).
+func SkipZero(v float64) bool {
+	return v != 0.0
+}
+
+// WithinTol compares with an explicit tolerance.
+func WithinTol(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12
+}
+
+// IntEqual compares integers, not floats.
+func IntEqual(a, b int) bool {
+	return a == b
+}

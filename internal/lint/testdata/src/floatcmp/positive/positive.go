@@ -1,0 +1,24 @@
+// Package positive holds code every floatcmp run must flag.
+package positive
+
+// Converged compares two residuals for exact equality: a tolerance bug.
+func Converged(prev, cur float64) bool {
+	return prev == cur // WANT floatcmp
+}
+
+// DriftedFrom tests a float against a nonzero constant.
+func DriftedFrom(x float64) bool {
+	return x != 1.0 // WANT floatcmp
+}
+
+// SameNorm hides the comparison behind arithmetic.
+func SameNorm(a, b []float64) bool {
+	var sa, sb float64
+	for _, v := range a {
+		sa += v * v
+	}
+	for _, v := range b {
+		sb += v * v
+	}
+	return sa == sb // WANT floatcmp
+}

@@ -1,0 +1,21 @@
+// Package ignore exercises the //lint:ignore convention.
+package ignore
+
+// BitEqual's contract is exact bit equality (determinism tests promoted
+// into library code): suppressed with a documented reason.
+func BitEqual(a, b float64) bool {
+	//lint:ignore floatcmp bit-exact comparison is this function's documented contract
+	return a == b
+}
+
+// TrailingForm suppresses with a trailing comment on the flagged line.
+func TrailingForm(a, b float64) bool {
+	return a != b //lint:ignore floatcmp exact mismatch detection is the point here
+}
+
+// MissingReason is malformed — no reason given — so the directive is
+// reported and the comparison stays flagged.
+func MissingReason(a, b float64) bool {
+	//lint:ignore floatcmp
+	return a == b
+}

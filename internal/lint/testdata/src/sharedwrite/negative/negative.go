@@ -1,0 +1,49 @@
+// Package negative holds code sharedwrite must stay silent on.
+package negative
+
+import "parapre/internal/par"
+
+// Scale writes only slots indexed by the worker's own range bounds.
+func Scale(a float64, x []float64) {
+	par.For(len(x), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] *= a
+		}
+	})
+}
+
+// PerWorker gives every task its own output slot.
+func PerWorker(n int) []float64 {
+	out := make([]float64, n)
+	par.Run(n, func(t int) {
+		out[t] = float64(t)
+	})
+	return out
+}
+
+// Buffered builds per-worker state in closure-local variables and
+// publishes it through a worker-indexed slot — the sanctioned pattern of
+// the parallel assembly and COO conversion.
+func Buffered(n, w int) [][]float64 {
+	outs := make([][]float64, w)
+	par.Run(w, func(s int) {
+		buf := make([]float64, 0, n/w)
+		for i := 0; i < n/w; i++ {
+			buf = append(buf, float64(s*i))
+		}
+		outs[s] = buf
+	})
+	return outs
+}
+
+// Reduce uses the deterministic fixed-block reduction instead of a
+// shared accumulator.
+func Reduce(x []float64) float64 {
+	return par.SumBlocks(len(x), func(lo, hi int) float64 {
+		var s float64
+		for _, v := range x[lo:hi] {
+			s += v
+		}
+		return s
+	})
+}

@@ -1,0 +1,35 @@
+// Package positive holds code every sharedwrite run must flag.
+package positive
+
+import "parapre/internal/par"
+
+// Sum accumulates into a captured scalar from every worker: a data race,
+// and even with a mutex the combination order would depend on scheduling.
+func Sum(x []float64) float64 {
+	var s float64
+	par.For(len(x), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s += x[i] // WANT sharedwrite
+		}
+	})
+	return s
+}
+
+// Last writes every worker's result into the same fixed slot.
+func Last(xs [][]float64, out []float64) {
+	par.Run(len(xs), func(t int) {
+		out[0] = xs[t][0] // WANT sharedwrite
+	})
+}
+
+// counter bumps a captured struct field from all workers.
+type counter struct{ hits int }
+
+// Count races on the captured counter's field.
+func Count(n int) int {
+	var c counter
+	par.ForSegments([]int{0, n / 2, n}, func(lo, hi int) {
+		c.hits += hi - lo // WANT sharedwrite
+	})
+	return c.hits
+}

@@ -25,6 +25,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"parapre/internal/paranoid"
 )
 
 // EnvWorkers is the environment variable that pins the worker count.
@@ -106,6 +108,12 @@ func ForSegments(bounds []int, body func(lo, hi int)) {
 	segs := len(bounds) - 1
 	if segs <= 0 {
 		return
+	}
+	if paranoid.Enabled {
+		for s := 0; s < segs; s++ {
+			paranoid.Check(bounds[s] <= bounds[s+1],
+				"par: ForSegments bounds not non-decreasing at %d: %d > %d", s, bounds[s], bounds[s+1])
+		}
 	}
 	if segs == 1 {
 		if bounds[0] < bounds[1] {

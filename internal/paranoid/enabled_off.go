@@ -1,0 +1,9 @@
+//go:build !paranoid
+
+package paranoid
+
+// Enabled reports whether the paranoid runtime invariant checks are
+// compiled in. In the default build it is a false constant, so every
+// helper in this package compiles to an empty, inlinable function and
+// the checks cost exactly nothing.
+const Enabled = false

@@ -1,0 +1,7 @@
+//go:build paranoid
+
+package paranoid
+
+// Enabled reports whether the paranoid runtime invariant checks are
+// compiled in. This file is selected by `go build -tags paranoid`.
+const Enabled = true

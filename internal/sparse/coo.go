@@ -109,6 +109,7 @@ func (c *COO) ToCSR() *CSR {
 		a.ColIdx, a.Val = mergeRow(rowBuf, a.ColIdx, a.Val)
 		a.RowPtr[i+1] = len(a.ColIdx)
 	}
+	a.Validate()
 	return a
 }
 
@@ -177,6 +178,7 @@ func (c *COO) toCSRParallel(rowCount, perm []int, w int) *CSR {
 		copy(a.ColIdx[a.RowPtr[lo]:], outs[s].cols)
 		copy(a.Val[a.RowPtr[lo]:], outs[s].vals)
 	})
+	a.Validate()
 	return a
 }
 

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"parapre/internal/par"
+	"parapre/internal/paranoid"
 )
 
 // CSR is a sparse matrix in compressed sparse row format.
@@ -203,6 +204,7 @@ func (a *CSR) checkMulDims(op string, y, x []float64) {
 // accumulated left-to-right, so the result is bit-identical to the serial
 // sweep at any worker count.
 func (a *CSR) MulVecTo(y, x []float64) {
+	a.Validate()
 	a.checkMulDims("MulVecTo", y, x)
 	if w := par.Workers(); w > 1 && a.NNZ() >= spmvParMinNNZ {
 		par.ForSegments(a.rowPartition(w), func(lo, hi int) { a.mulRange(y, x, lo, hi) })
@@ -214,6 +216,7 @@ func (a *CSR) MulVecTo(y, x []float64) {
 // MulVecAdd computes y += alpha * A·x without allocating. Dimension rules
 // and parallelism are as for MulVecTo.
 func (a *CSR) MulVecAdd(y []float64, alpha float64, x []float64) {
+	a.Validate()
 	a.checkMulDims("MulVecAdd", y, x)
 	if w := par.Workers(); w > 1 && a.NNZ() >= spmvParMinNNZ {
 		par.ForSegments(a.rowPartition(w), func(lo, hi int) { a.mulAddRange(y, alpha, x, lo, hi) })
@@ -226,6 +229,7 @@ func (a *CSR) MulVecAdd(y []float64, alpha float64, x []float64) {
 // kernel used by the Schur-complement right-hand-side construction.
 // Dimension rules and parallelism are as for MulVecTo.
 func (a *CSR) MulVecSub(y, x []float64) {
+	a.Validate()
 	a.checkMulDims("MulVecSub", y, x)
 	if w := par.Workers(); w > 1 && a.NNZ() >= spmvParMinNNZ {
 		par.ForSegments(a.rowPartition(w), func(lo, hi int) { a.mulSubRange(y, x, lo, hi) })
@@ -341,6 +345,19 @@ func (r *rowSorter) Swap(i, j int) {
 	r.vals[i], r.vals[j] = r.vals[j], r.vals[i]
 }
 
+// Validate panics if the CSR structural invariants (see CheckValid) are
+// violated. It is compiled in only under the `paranoid` build tag; in the
+// default build it is an empty function the compiler inlines away, so the
+// kernels can call it unconditionally at their entry points.
+func (a *CSR) Validate() {
+	if !paranoid.Enabled {
+		return
+	}
+	if err := a.CheckValid(); err != nil {
+		panic("paranoid: " + err.Error())
+	}
+}
+
 // CheckValid verifies the CSR structural invariants: monotone RowPtr,
 // in-range sorted unique column indices. It returns a descriptive error for
 // the first violation found, or nil.
@@ -398,6 +415,7 @@ func (a *CSR) Equal(b *CSR) bool {
 		}
 	}
 	for k := range a.ColIdx {
+		//lint:ignore floatcmp Equal's contract is bit-exact value identity (determinism tests rely on it)
 		if a.ColIdx[k] != b.ColIdx[k] || a.Val[k] != b.Val[k] {
 			return false
 		}

@@ -41,6 +41,10 @@ func (d *Dense) MulVec(x []float64) []float64 {
 
 // MulVecTo computes y = D·x without allocating.
 func (d *Dense) MulVecTo(y, x []float64) {
+	if len(y) < d.Rows || len(x) < d.Cols {
+		panic(fmt.Sprintf("sparse: Dense.MulVecTo on %d×%d matrix needs len(y) ≥ %d, len(x) ≥ %d; got %d, %d",
+			d.Rows, d.Cols, d.Rows, d.Cols, len(y), len(x)))
+	}
 	for i := 0; i < d.Rows; i++ {
 		row := d.Data[i*d.Cols : (i+1)*d.Cols]
 		var s float64

@@ -1,0 +1,84 @@
+package sparse
+
+import (
+	"strings"
+	"testing"
+
+	"parapre/internal/paranoid"
+)
+
+// newTestCSR builds a small valid matrix to corrupt.
+func newTestCSR(t *testing.T) *CSR {
+	t.Helper()
+	coo := NewCOO(3, 3, 5)
+	coo.Add(0, 0, 2)
+	coo.Add(0, 2, -1)
+	coo.Add(1, 1, 3)
+	coo.Add(2, 0, -1)
+	coo.Add(2, 2, 2)
+	return coo.ToCSR()
+}
+
+// TestValidateCatchesCorruption is the paranoid acceptance criterion: a
+// corrupted CSR is caught at the next Validate under `-tags paranoid`,
+// and Validate stays a silent no-op without the tag. The same test body
+// runs in both modes and asserts the mode-appropriate behavior.
+func TestValidateCatchesCorruption(t *testing.T) {
+	corruptions := []struct {
+		name    string
+		corrupt func(a *CSR)
+	}{
+		{"column index out of range", func(a *CSR) { a.ColIdx[0] = 99 }},
+		{"row pointer not monotone", func(a *CSR) { a.RowPtr[1] = a.RowPtr[2] + 1 }},
+		{"value/index length mismatch", func(a *CSR) { a.Val = a.Val[:len(a.Val)-1] }},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			a := newTestCSR(t)
+			tc.corrupt(a)
+			if !paranoid.Enabled {
+				a.Validate() // no tag: must stay silent even on garbage
+				return
+			}
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("paranoid Validate let corruption %q through", tc.name)
+				}
+				if msg, ok := r.(string); !ok || !strings.HasPrefix(msg, "paranoid: ") {
+					t.Fatalf("unexpected panic payload: %v", r)
+				}
+			}()
+			a.Validate()
+		})
+	}
+}
+
+// TestValidateAcceptsHealthyMatrix guards against over-tight invariants:
+// a freshly assembled matrix must pass in both modes.
+func TestValidateAcceptsHealthyMatrix(t *testing.T) {
+	a := newTestCSR(t)
+	a.Validate()
+	if err := a.CheckValid(); err != nil {
+		t.Fatalf("healthy matrix rejected: %v", err)
+	}
+}
+
+// TestMulVecValidatesUnderParanoid checks the kernels actually call
+// Validate: a corrupted matrix must be caught on entry to MulVecTo when
+// the tag is on, and must at worst compute garbage (not panic via the
+// paranoid path) when off.
+func TestMulVecValidatesUnderParanoid(t *testing.T) {
+	if !paranoid.Enabled {
+		t.Skip("needs -tags paranoid")
+	}
+	a := newTestCSR(t)
+	a.ColIdx[0] = 99
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MulVecTo on corrupted CSR did not trip the paranoid check")
+		}
+	}()
+	y := make([]float64, 3)
+	a.MulVecTo(y, []float64{1, 2, 3})
+}

@@ -36,8 +36,19 @@ func (p Perm) IsValid() bool {
 	return true
 }
 
+// checkVecDims panics unless both vectors cover the permutation's range.
+// Permutation entries are computed indices, so a short argument would be
+// a silent out-of-bounds access without this guard.
+func (p Perm) checkVecDims(op string, ny, nx int) {
+	if ny < len(p) || nx < len(p) {
+		panic(fmt.Sprintf("sparse: Perm.%s needs vectors of length ≥ %d, got len(y)=%d, len(x)=%d",
+			op, len(p), ny, nx))
+	}
+}
+
 // ApplyVec gathers x through the permutation: y[i] = x[p[i]].
 func (p Perm) ApplyVec(x []float64) []float64 {
+	p.checkVecDims("ApplyVec", len(p), len(x))
 	y := make([]float64, len(p))
 	for i, v := range p {
 		y[i] = x[v]
@@ -47,6 +58,7 @@ func (p Perm) ApplyVec(x []float64) []float64 {
 
 // ApplyVecTo gathers x through the permutation into y.
 func (p Perm) ApplyVecTo(y, x []float64) {
+	p.checkVecDims("ApplyVecTo", len(y), len(x))
 	for i, v := range p {
 		y[i] = x[v]
 	}
@@ -55,6 +67,7 @@ func (p Perm) ApplyVecTo(y, x []float64) {
 // ScatterVecTo scatters x back through the permutation: y[p[i]] = x[i].
 // It inverts ApplyVecTo.
 func (p Perm) ScatterVecTo(y, x []float64) {
+	p.checkVecDims("ScatterVecTo", len(y), len(x))
 	for i, v := range p {
 		y[v] = x[i]
 	}

@@ -1,6 +1,7 @@
 package sparse
 
 import (
+	"fmt"
 	"math"
 
 	"parapre/internal/par"
@@ -31,6 +32,9 @@ const (
 
 // Dot returns the inner product xᵀy (over the first len(x) entries).
 func Dot(x, y []float64) float64 {
+	if len(y) < len(x) {
+		panic(fmt.Sprintf("sparse: Dot needs len(y) ≥ len(x), got len(x)=%d, len(y)=%d", len(x), len(y)))
+	}
 	n := len(x)
 	if n <= par.BlockSize {
 		var s float64
