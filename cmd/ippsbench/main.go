@@ -10,6 +10,7 @@
 //	ippsbench -exp tc1-cluster -size 257 -procs 2,4,8,16,32
 //	ippsbench -all -size 65
 //	ippsbench -exp tc1-cluster -workers 8 -json
+//	ippsbench -exp tc1-cluster -faults drop -faultseed 3
 //
 // -workers pins the shared-memory worker pool (default: GOMAXPROCS, or
 // the PARAPRE_WORKERS environment variable); iteration counts and modeled
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"parapre/internal/bench"
+	"parapre/internal/dist"
 	"parapre/internal/par"
 )
 
@@ -40,6 +42,10 @@ func main() {
 		md      = flag.Bool("markdown", false, "emit GitHub-flavored Markdown tables")
 		jsonOut = flag.Bool("json", false, "also write results to BENCH_<date>.json")
 		workers = flag.Int("workers", 0, "shared-memory worker count (0 = GOMAXPROCS / PARAPRE_WORKERS)")
+
+		faults    = flag.String("faults", "", `chaos plan for every solve: "drop", "delay", "corrupt", "straggler" or "crash"`)
+		faultSeed = flag.Int64("faultseed", 1, "chaos plan seed")
+		resilient = flag.Bool("resilient", false, "run solves through the self-healing escalation ladder")
 	)
 	flag.Parse()
 
@@ -77,6 +83,22 @@ func main() {
 		}
 		for i := range toRun {
 			toRun[i].Ps = ps
+		}
+	}
+
+	if *faults != "" {
+		plan, err := dist.NamedFaultPlan(*faults, *faultSeed)
+		if err != nil {
+			fatal(err)
+		}
+		for i := range toRun {
+			toRun[i].Faults = plan
+		}
+		fmt.Printf("chaos: plan %q seed %d — typed failures appear as table notes\n\n", *faults, *faultSeed)
+	}
+	if *resilient {
+		for i := range toRun {
+			toRun[i].Resilient = true
 		}
 	}
 

@@ -6,9 +6,16 @@
 //
 //	solvepde -case tc1-poisson2d -p 8 -precond "Schur 1" -size 65
 //	solvepde -list
+//
+// Chaos testing (see README "Chaos testing"): -faults injects a seeded
+// deterministic fault plan and the run must either converge or end in a
+// typed error — never hang, never panic:
+//
+//	solvepde -case tc1-poisson2d -p 4 -faults corrupt -faultseed 7 -resilient
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -16,6 +23,7 @@ import (
 	"strings"
 
 	"parapre"
+	"parapre/internal/dist"
 	"parapre/internal/precond"
 )
 
@@ -38,6 +46,11 @@ func main() {
 		verify  = flag.Bool("verify", false, "compare against a tight sequential reference solve")
 		history = flag.Bool("history", false, "print the residual convergence curve")
 		stats   = flag.Bool("stats", false, "print the per-rank compute/communication breakdown")
+
+		faults    = flag.String("faults", "", `chaos plan: "drop", "delay", "corrupt", "straggler" or "crash"`)
+		faultSeed = flag.Int64("faultseed", 1, "chaos plan seed (same seed ⇒ same faults)")
+		watchdog  = flag.Duration("watchdog", 0, "deadlock watchdog budget (0 = default with -faults, off otherwise)")
+		resilient = flag.Bool("resilient", false, "self-heal breakdowns: fresh restart, then fallback preconditioner")
 	)
 	flag.Parse()
 
@@ -74,13 +87,32 @@ func main() {
 	}
 	cfg.KeepX = *verify
 	cfg.Solver.RecordHistory = *history
+	cfg.Watchdog = *watchdog
+	cfg.Resilient = *resilient
+	chaos := *faults != ""
+	if chaos {
+		plan, err := parapre.NamedFaultPlan(*faults, *faultSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "solvepde:", err)
+			os.Exit(2)
+		}
+		cfg.Faults = plan
+	}
 
 	fmt.Printf("case %s: %d unknowns, P = %d, %s, %s partitioning, machine %s\n",
 		*name, prob.A.Rows, *p, *kind, map[bool]string{false: "general", true: "simple"}[*simple],
 		cfg.Machine.Name)
+	if chaos {
+		fmt.Printf("chaos: plan %q seed %d (converge-or-typed-error contract)\n", *faults, *faultSeed)
+	}
 
 	res, err := parapre.Solve(prob, cfg)
 	if err != nil {
+		// Under chaos the contract is converge OR typed error: a deadlock
+		// or crash report is a successful detection, not a tool failure.
+		if chaos && reportFault(err) {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "solvepde:", err)
 		os.Exit(1)
 	}
@@ -90,6 +122,26 @@ func main() {
 	}
 	fmt.Printf("%s in %d FGMRES(20) iterations (relative residual %.2e)\n",
 		status, res.Iterations, res.Residual)
+	if res.Err != nil {
+		fmt.Printf("solver error: %v\n", res.Err)
+	}
+	if res.Recovery != nil && len(res.Recovery.Steps) > 0 {
+		fmt.Println("recovery log:")
+		for _, st := range res.Recovery.Steps {
+			outcome := "failed"
+			if st.Converged {
+				outcome = "converged"
+			}
+			fmt.Printf("  stage %-12s attempt %d: %s after %d iterations", st.Stage, st.Attempt, outcome, st.Iterations)
+			if st.Err != nil {
+				fmt.Printf(" (%v)", st.Err)
+			}
+			fmt.Println()
+		}
+		if res.Recovery.Recovered {
+			fmt.Println("  solve recovered by the escalation ladder")
+		}
+	}
 	fmt.Printf("modeled time: setup %.4fs + solve %.4fs = %.4fs\n",
 		res.SetupTime, res.SolveTime, res.SetupTime+res.SolveTime)
 	var msgs, bytes int
@@ -128,4 +180,43 @@ func main() {
 		}
 		fmt.Printf("max |x − x_ref| = %.3e (true relative residual %.2e)\n", d, res.TrueRelRes)
 	}
+}
+
+// reportFault prints a typed runtime failure of a chaos run and reports
+// whether the error satisfies the converge-or-typed-error contract. An
+// escaped rank panic or any other error is a real failure and returns
+// false.
+func reportFault(err error) bool {
+	var de *parapre.DeadlockError
+	var ce *parapre.CrashError
+	switch {
+	case errors.As(err, &de):
+		fmt.Printf("typed failure: %v\n", de)
+		fmt.Println("per-rank diagnostics at abort:")
+		for _, r := range de.Ranks {
+			state := "running"
+			switch {
+			case r.Crashed:
+				state = "crashed"
+			case r.Done:
+				state = "done"
+			case r.Blocked:
+				state = "blocked"
+			}
+			fmt.Printf("  rank %-3d %-8s last op %-10s peer %-3d tag %-4d clock %.6fs (%d ops)\n",
+				r.Rank, state, r.LastOp, r.Peer, r.Tag, r.Clock, r.Ops)
+		}
+		return true
+	case errors.As(err, &ce):
+		fmt.Printf("typed failure: %v\n", ce)
+		return true
+	default:
+		var pc *dist.PeerCrashedError
+		var tm *dist.TagMismatchError
+		if errors.As(err, &pc) || errors.As(err, &tm) {
+			fmt.Printf("typed failure: %v\n", err)
+			return true
+		}
+	}
+	return false
 }

@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -24,6 +25,9 @@ type Cell struct {
 	Time      float64 // modeled seconds (setup + solve) on the virtual machine
 	Wall      float64 // measured wall-clock seconds of the real solve
 	Converged bool
+	// Note annotates chaos-run outcomes ("deadlock", "crash [1]",
+	// "breakdown", "recovered"); empty for ordinary measurements.
+	Note string
 }
 
 // Row is one line of a paper table: a processor count with one Cell per
@@ -57,6 +61,14 @@ type Experiment struct {
 	Schwarz     bool
 	SchwarzCGC  []bool // one column per entry
 	SchwarzGrid func(p int) (px, py int)
+
+	// Chaos configuration (the -faults / -resilient flags of ippsbench):
+	// a fault plan turns every solve into a converge-or-typed-error run
+	// whose failures are recorded as cell Notes instead of aborting the
+	// experiment.
+	Faults    *dist.FaultPlan
+	Watchdog  time.Duration
+	Resilient bool
 }
 
 // Experiments returns the full set, one per table in the paper (§5), in
@@ -191,17 +203,18 @@ func (e Experiment) runAlgebraic(prob *core.Problem, scheme core.PartitionScheme
 			cfg := core.DefaultConfig(p, k)
 			cfg.Machine = e.Machine()
 			cfg.Scheme = scheme
+			e.applyChaos(&cfg)
 			start := time.Now()
 			res, err := core.Solve(prob, cfg)
 			if err != nil {
-				return t, fmt.Errorf("%s/%s P=%d: %w", e.ID, k, p, err)
+				note, typed := faultNote(err)
+				if !e.chaos() || !typed {
+					return t, fmt.Errorf("%s/%s P=%d: %w", e.ID, k, p, err)
+				}
+				row.Cells = append(row.Cells, Cell{Note: note, Wall: time.Since(start).Seconds()})
+				continue
 			}
-			row.Cells = append(row.Cells, Cell{
-				Iters:     res.Iterations,
-				Time:      res.SetupTime + res.SolveTime,
-				Wall:      time.Since(start).Seconds(),
-				Converged: res.Converged,
-			})
+			row.Cells = append(row.Cells, newCell(res, start))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -225,21 +238,74 @@ func (e Experiment) runSchwarz(prob *core.Problem, size int) (Table, error) {
 			cfg.Machine = e.Machine()
 			sw := precond.DefaultSchwarz(size, px, py, cgc)
 			cfg.Schwarz = &sw
+			e.applyChaos(&cfg)
 			start := time.Now()
 			res, err := core.Solve(prob, cfg)
 			if err != nil {
-				return t, fmt.Errorf("%s cgc=%v P=%d: %w", e.ID, cgc, p, err)
+				note, typed := faultNote(err)
+				if !e.chaos() || !typed {
+					return t, fmt.Errorf("%s cgc=%v P=%d: %w", e.ID, cgc, p, err)
+				}
+				row.Cells = append(row.Cells, Cell{Note: note, Wall: time.Since(start).Seconds()})
+				continue
 			}
-			row.Cells = append(row.Cells, Cell{
-				Iters:     res.Iterations,
-				Time:      res.SetupTime + res.SolveTime,
-				Wall:      time.Since(start).Seconds(),
-				Converged: res.Converged,
-			})
+			row.Cells = append(row.Cells, newCell(res, start))
 		}
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
+}
+
+// chaos reports whether the experiment runs under fault injection or a
+// watchdog (the converge-or-typed-error regime).
+func (e Experiment) chaos() bool { return e.Faults != nil || e.Watchdog > 0 }
+
+// applyChaos copies the experiment's chaos configuration into one solve
+// config; a nil plan leaves cfg untouched (bit-identical baseline runs).
+func (e Experiment) applyChaos(cfg *core.Config) {
+	cfg.Faults = e.Faults
+	cfg.Watchdog = e.Watchdog
+	cfg.Resilient = e.Resilient
+}
+
+// newCell converts one solve result into a table cell, annotating chaos
+// outcomes: a typed solver error becomes "breakdown", a solve saved by
+// the escalation ladder becomes "recovered".
+func newCell(res *core.Result, start time.Time) Cell {
+	c := Cell{
+		Iters:     res.Iterations,
+		Time:      res.SetupTime + res.SolveTime,
+		Wall:      time.Since(start).Seconds(),
+		Converged: res.Converged,
+	}
+	if res.Err != nil {
+		c.Note = "breakdown"
+	}
+	if res.Recovery != nil && res.Recovery.Recovered {
+		c.Note = "recovered"
+	}
+	return c
+}
+
+// faultNote classifies a chaos-run failure for table annotation. Only the
+// typed runtime outcomes qualify; anything else (including an escaped
+// rank panic, which is a bug) fails the experiment.
+func faultNote(err error) (string, bool) {
+	var de *dist.DeadlockError
+	var ce *dist.CrashError
+	var pc *dist.PeerCrashedError
+	var tm *dist.TagMismatchError
+	switch {
+	case errors.As(err, &de):
+		return "deadlock", true
+	case errors.As(err, &ce):
+		return fmt.Sprintf("crash %v", ce.Ranks), true
+	case errors.As(err, &pc):
+		return fmt.Sprintf("crash [%d]", pc.Peer), true
+	case errors.As(err, &tm):
+		return "tag mismatch", true
+	}
+	return "", false
 }
 
 // WriteMarkdown renders the table as a GitHub-flavored Markdown table
@@ -258,9 +324,14 @@ func (t Table) WriteMarkdown(w io.Writer) {
 	for _, r := range t.Rows {
 		fmt.Fprintf(w, "| %d |", r.P)
 		for _, c := range r.Cells {
-			if c.Converged {
+			switch {
+			case c.Converged && c.Note != "":
+				fmt.Fprintf(w, " %d / %.4fs (%s) |", c.Iters, c.Time, c.Note)
+			case c.Converged:
 				fmt.Fprintf(w, " %d / %.4fs |", c.Iters, c.Time)
-			} else {
+			case c.Note != "":
+				fmt.Fprintf(w, " %s |", c.Note)
+			default:
 				fmt.Fprint(w, " n.c. |")
 			}
 		}
@@ -286,9 +357,12 @@ func (t Table) Write(w io.Writer) {
 	for _, r := range t.Rows {
 		fmt.Fprintf(w, "%-5d", r.P)
 		for _, c := range r.Cells {
-			if c.Converged {
+			switch {
+			case c.Converged:
 				fmt.Fprintf(w, " | %6d %9.4f", c.Iters, c.Time)
-			} else {
+			case c.Note != "":
+				fmt.Fprintf(w, " | %16s", c.Note)
+			default:
 				fmt.Fprintf(w, " | %6s %9s", "n.c.", "-")
 			}
 		}

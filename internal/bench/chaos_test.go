@@ -1,0 +1,92 @@
+//go:build !paranoid
+
+// The chaos-path bench tests drive fault plans that inject NaN, which the
+// paranoid build's finite-value assertions turn into panics before the
+// typed-error classification under test can run.
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"parapre/internal/dist"
+)
+
+// A benchmark run under a fault plan must finish: every cell either
+// converged, carries a breakdown/recovery note, or carries a typed fault
+// note — an untyped failure aborts Run with an error.
+func TestExperimentChaosCellsConvergeOrNoted(t *testing.T) {
+	for _, plan := range []string{"corrupt", "crash", "drop"} {
+		t.Run(plan, func(t *testing.T) {
+			e, err := ByID("tc1-cluster")
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Ps = []int{2}
+			fp, err := dist.NamedFaultPlan(plan, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Faults = fp
+			e.Watchdog = 2 * time.Second
+			e.Resilient = true
+			tables, err := e.Run(17)
+			if err != nil {
+				t.Fatalf("chaos run must classify faults, not fail: %v", err)
+			}
+			for _, tb := range tables {
+				for _, row := range tb.Rows {
+					for ci, cell := range row.Cells {
+						if !cell.Converged && cell.Note == "" {
+							t.Errorf("p=%d cell %d: neither converged nor noted: %+v", row.P, ci, cell)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// Fault notes must survive into both renderers so a chaos table is
+// readable, not silently truncated.
+func TestChaosNotesRendered(t *testing.T) {
+	e, err := ByID("tc1-cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Ps = []int{2}
+	fp, err := dist.NamedFaultPlan("drop", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Faults = fp
+	e.Watchdog = 500 * time.Millisecond
+	tables, err := e.Run(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var noted bool
+	for _, tb := range tables {
+		for _, row := range tb.Rows {
+			for _, cell := range row.Cells {
+				if cell.Note != "" {
+					noted = true
+				}
+			}
+		}
+	}
+	if !noted {
+		t.Skip("drop plan converged on this tiny case; nothing to render")
+	}
+	var plain, md bytes.Buffer
+	tables[0].Write(&plain)
+	tables[0].WriteMarkdown(&md)
+	if !strings.Contains(plain.String(), "deadlock") && !strings.Contains(plain.String(), "crash") {
+		t.Errorf("plain renderer dropped the fault note:\n%s", plain.String())
+	}
+	if !strings.Contains(md.String(), "deadlock") && !strings.Contains(md.String(), "crash") {
+		t.Errorf("markdown renderer dropped the fault note:\n%s", md.String())
+	}
+}

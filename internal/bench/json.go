@@ -20,6 +20,7 @@ type ReportCell struct {
 	ModelTime float64 `json:"model_time_s"`
 	WallTime  float64 `json:"wall_time_s"`
 	Converged bool    `json:"converged"`
+	Note      string  `json:"note,omitempty"` // chaos outcome annotation
 }
 
 // ReportRow groups the cells of one processor count.
@@ -63,6 +64,7 @@ func NewReport(date string, tables []Table) *Report {
 					ModelTime: c.Time,
 					WallTime:  c.Wall,
 					Converged: c.Converged,
+					Note:      c.Note,
 				})
 			}
 			rt.Rows = append(rt.Rows, rr)

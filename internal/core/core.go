@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"parapre/internal/arms"
 	"parapre/internal/dist"
@@ -110,6 +111,24 @@ type Config struct {
 	Solver   krylov.Options
 	KeepX    bool  // gather and return the global solution
 	PartSeed int64 // overrides the machine partition seed when nonzero
+
+	// Faults injects a deterministic chaos plan into the communicator
+	// (see dist.FaultPlan); the solve then runs under the supervised
+	// runtime and every injected failure comes back as a typed error —
+	// dist.DeadlockError, dist.CrashError, krylov.BreakdownError — never
+	// a hang or an escaped panic. Nil (the default) leaves the runtime
+	// and all modeled times bit-identical to a fault-free build.
+	Faults *dist.FaultPlan
+	// Watchdog bounds the real time the world may go without any rank
+	// completing an operation before the solve is declared deadlocked.
+	// 0 disables it unless Faults is set (then dist.DefaultWatchdogBudget
+	// applies).
+	Watchdog time.Duration
+	// Resilient enables the krylov.ResilientSolve escalation ladder on
+	// the FGMRES path: a breakdown triggers a fresh zero restart, then a
+	// fallback to an alternative preconditioner; Result.Recovery reports
+	// what happened. Ignored with UseCG.
+	Resilient bool
 }
 
 // DefaultConfig mirrors the paper's measurement setup (§4.3): FGMRES(20),
@@ -140,6 +159,14 @@ type Result struct {
 	X          []float64 // gathered solution (only when Config.KeepX)
 	TrueRelRes float64   // ‖b−Ax‖/‖b‖ recomputed globally (only when KeepX)
 	History    []float64 // residual curve (when Config.Solver.RecordHistory)
+
+	// Err is the solver-level typed error of a failed solve — a
+	// krylov.BreakdownError (possibly joined with a dsys.ExchangeError
+	// when a communication fault poisoned the recurrence). Runtime-level
+	// failures (deadlock, crash) are returned as Solve's error instead.
+	Err error
+	// Recovery is the escalation-ladder log (only with Config.Resilient).
+	Recovery *krylov.RecoveryLog
 }
 
 // Partition computes the row partition for the problem under cfg. For
@@ -230,11 +257,12 @@ func Solve(p *Problem, cfg Config) (*Result, error) {
 
 	res := &Result{PerRank: make([]dist.Stats, cfg.P)}
 	results := make([]krylov.Result, cfg.P)
+	logs := make([]*krylov.RecoveryLog, cfg.P)
 	setupClock := make([]float64, cfg.P)
 	xl := make([][]float64, cfg.P)
 	errs := make([]error, cfg.P)
 
-	stats := dist.Run(cfg.P, cfg.Machine, func(c *dist.Comm) {
+	stats, runErr := runWorld(cfg, func(c *dist.Comm) {
 		s := systems[c.Rank()]
 		var pc precond.Preconditioner
 		var err error
@@ -243,30 +271,8 @@ func Solve(p *Problem, cfg Config) (*Result, error) {
 			pc = schwarz[c.Rank()]
 		case overlap != nil:
 			pc = overlap[c.Rank()]
-		case cfg.Precond == precond.KindBlock1 && cfg.RCM:
-			pc, err = precond.NewBlockOrdered(s, true, cfg.ILUT)
-		case cfg.Precond == precond.KindBlock2 && cfg.RCM:
-			pc, err = precond.NewBlockOrdered(s, false, cfg.ILUT)
-		case cfg.Precond == precond.KindBlock1:
-			pc, err = precond.NewBlock1(s)
-		case cfg.Precond == precond.KindBlock2:
-			pc, err = precond.NewBlock2(s, cfg.ILUT)
-		case cfg.Precond == precond.KindBlockARMS:
-			pc, err = precond.NewBlockARMS(s, cfg.ARMS)
-		case cfg.Precond == precond.KindBlock2P:
-			pt := cfg.PermTol
-			if pt == 0 {
-				pt = 1
-			}
-			pc, err = precond.NewBlock2Pivot(s, ilu.ILUTPOptions{ILUTOptions: cfg.ILUT, PermTol: pt})
-		case cfg.Precond == precond.KindBlockIC:
-			pc, err = precond.NewBlockIC(s)
-		case cfg.Precond == precond.KindSchur1:
-			pc, err = precond.NewSchur1(s, cfg.Schur1)
-		case cfg.Precond == precond.KindSchur2:
-			pc, err = precond.NewSchur2(s, cfg.Schur2)
 		default:
-			pc = precond.NewIdentity()
+			pc, err = buildRankPrecond(cfg, s, cfg.Precond)
 		}
 		if err != nil {
 			errs[c.Rank()] = err
@@ -284,9 +290,13 @@ func Solve(p *Problem, cfg Config) (*Result, error) {
 		if cfg.Precond != precond.KindNone || cfg.Schwarz != nil {
 			prec = func(z, r []float64) { pc.Apply(c, z, r) }
 		}
-		if cfg.UseCG {
+		switch {
+		case cfg.UseCG:
 			results[c.Rank()] = krylov.DistributedCG(c, s, prec, s.B, x, cfg.Solver)
-		} else {
+		case cfg.Resilient:
+			results[c.Rank()], logs[c.Rank()] = krylov.ResilientSolve(
+				c, s, resilientLadder(cfg, c, s, prec), s.B, x, cfg.Solver)
+		default:
 			results[c.Rank()] = krylov.Distributed(c, s, prec, s.B, x, cfg.Solver)
 		}
 		xl[c.Rank()] = x
@@ -297,11 +307,18 @@ func Solve(p *Problem, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("core: rank %d setup: %w", r, err)
 		}
 	}
+	if runErr != nil {
+		// Deadlock, crash or rank panic: the typed runtime error is the
+		// result (per-rank stats up to the failure are in it already).
+		return nil, runErr
+	}
 	copy(res.PerRank, stats)
 	r0 := results[0]
 	res.Iterations = r0.Iterations
 	res.Converged = r0.Converged
 	res.History = r0.History
+	res.Err = r0.Err
+	res.Recovery = logs[0]
 	if r0.Initial > 0 {
 		res.Residual = r0.Final / r0.Initial
 	}
@@ -328,6 +345,92 @@ func Solve(p *Problem, cfg Config) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// runWorld launches the rank goroutines under the runtime the config asks
+// for: the legacy unsupervised dist.Run (bit-identical to every earlier
+// release) unless fault injection or a watchdog budget is requested, in
+// which case the supervised dist.RunOpts converts deadlocks, crashes and
+// rank panics into typed errors.
+func runWorld(cfg Config, fn func(*dist.Comm)) ([]dist.Stats, error) {
+	if cfg.Faults == nil && cfg.Watchdog == 0 {
+		return dist.Run(cfg.P, cfg.Machine, fn), nil
+	}
+	opts := dist.WorldOptions{Faults: cfg.Faults, Watchdog: cfg.Watchdog}
+	return dist.RunOpts(cfg.P, cfg.Machine, opts, fn)
+}
+
+// buildRankPrecond constructs one rank's preconditioner of the given kind
+// under cfg's options. It is shared by the main solve path, the resilient
+// escalation ladder (which may ask for a kind different from cfg.Precond)
+// and Session.Solve.
+func buildRankPrecond(cfg Config, s *dsys.System, kind precond.Kind) (precond.Preconditioner, error) {
+	switch {
+	case kind == precond.KindBlock1 && cfg.RCM:
+		return precond.NewBlockOrdered(s, true, cfg.ILUT)
+	case kind == precond.KindBlock2 && cfg.RCM:
+		return precond.NewBlockOrdered(s, false, cfg.ILUT)
+	case kind == precond.KindBlock1:
+		return precond.NewBlock1(s)
+	case kind == precond.KindBlock2:
+		return precond.NewBlock2(s, cfg.ILUT)
+	case kind == precond.KindBlockARMS:
+		return precond.NewBlockARMS(s, cfg.ARMS)
+	case kind == precond.KindBlock2P:
+		pt := cfg.PermTol
+		if pt == 0 {
+			pt = 1
+		}
+		return precond.NewBlock2Pivot(s, ilu.ILUTPOptions{ILUTOptions: cfg.ILUT, PermTol: pt})
+	case kind == precond.KindBlockIC:
+		return precond.NewBlockIC(s)
+	case kind == precond.KindSchur1:
+		return precond.NewSchur1(s, cfg.Schur1)
+	case kind == precond.KindSchur2:
+		return precond.NewSchur2(s, cfg.Schur2)
+	default:
+		return precond.NewIdentity(), nil
+	}
+}
+
+// fallbackKind maps the configured preconditioner to the escalation
+// ladder's alternative: the Schur variants fall back to the cheap,
+// structurally different Block 2, everything else escalates to the
+// paper's most robust method, Schur 1.
+func fallbackKind(k precond.Kind) precond.Kind {
+	switch k {
+	case precond.KindSchur1, precond.KindSchur2:
+		return precond.KindBlock2
+	default:
+		return precond.KindSchur1
+	}
+}
+
+// resilientLadder assembles the two-stage escalation ladder for one rank:
+// stage 0 is the already-built configured preconditioner, stage 1 lazily
+// constructs the fallback kind. Because Schur preconditioners communicate
+// inside Apply, a per-rank build failure must be decided collectively —
+// mixed identity/Schur applications would deadlock — so the lazy
+// constructor reduces a success flag across ranks and every rank falls
+// back to no preconditioning if any build failed. The fallback's setup
+// cost is charged to the virtual clock only when the ladder reaches it.
+func resilientLadder(cfg Config, c *dist.Comm, s *dsys.System, prec krylov.Prec) []krylov.Stage {
+	fk := fallbackKind(cfg.Precond)
+	return []krylov.Stage{
+		{Name: string(cfg.Precond), Prec: func() krylov.Prec { return prec }},
+		{Name: string(fk), Prec: func() krylov.Prec {
+			fpc, err := buildRankPrecond(cfg, s, fk)
+			ok := 1.0
+			if err != nil {
+				ok = 0
+			}
+			if c.AllReduceMin(ok) == 0 {
+				return nil
+			}
+			c.Compute(setupFlopFactor * setupCost(fpc))
+			return func(z, r []float64) { fpc.Apply(c, z, r) }
+		}},
+	}
 }
 
 // buildSchwarz constructs every rank's additive Schwarz preconditioner

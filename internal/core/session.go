@@ -5,7 +5,6 @@ import (
 
 	"parapre/internal/dist"
 	"parapre/internal/dsys"
-	"parapre/internal/ilu"
 	"parapre/internal/krylov"
 	"parapre/internal/par"
 	"parapre/internal/precond"
@@ -73,31 +72,7 @@ func NewSession(p *Problem, cfg Config) (*Session, error) {
 		// on the worker pool.
 		errs := make([]error, cfg.P)
 		par.Run(cfg.P, func(r int) {
-			var pc precond.Preconditioner
-			var err error
-			sys := s.systems[r]
-			switch cfg.Precond {
-			case precond.KindBlock1:
-				pc, err = precond.NewBlock1(sys)
-			case precond.KindBlock2:
-				pc, err = precond.NewBlock2(sys, cfg.ILUT)
-			case precond.KindBlockARMS:
-				pc, err = precond.NewBlockARMS(sys, cfg.ARMS)
-			case precond.KindBlock2P:
-				pt := cfg.PermTol
-				if pt == 0 {
-					pt = 1
-				}
-				pc, err = precond.NewBlock2Pivot(sys, ilu.ILUTPOptions{ILUTOptions: cfg.ILUT, PermTol: pt})
-			case precond.KindBlockIC:
-				pc, err = precond.NewBlockIC(sys)
-			case precond.KindSchur1:
-				pc, err = precond.NewSchur1(sys, cfg.Schur1)
-			case precond.KindSchur2:
-				pc, err = precond.NewSchur2(sys, cfg.Schur2)
-			default:
-				pc = precond.NewIdentity()
-			}
+			pc, err := buildRankPrecond(cfg, s.systems[r], cfg.Precond)
 			if err != nil {
 				errs[r] = fmt.Errorf("core: rank %d setup: %w", r, err)
 				return
@@ -144,8 +119,9 @@ func (s *Session) Solve(b []float64) (*Result, error) {
 	bl := dsys.Scatter(s.systems, b)
 
 	results := make([]krylov.Result, s.cfg.P)
+	logs := make([]*krylov.RecoveryLog, s.cfg.P)
 	xl := make([][]float64, s.cfg.P)
-	stats := dist.Run(s.cfg.P, s.cfg.Machine, func(c *dist.Comm) {
+	stats, runErr := runWorld(s.cfg, func(c *dist.Comm) {
 		sys := s.systems[c.Rank()]
 		pc := s.pcs[c.Rank()]
 		x := make([]float64, sys.NLoc())
@@ -153,19 +129,28 @@ func (s *Session) Solve(b []float64) (*Result, error) {
 		if s.cfg.Precond != precond.KindNone || s.cfg.Schwarz != nil {
 			prec = func(z, r []float64) { pc.Apply(c, z, r) }
 		}
-		if s.cfg.UseCG {
+		switch {
+		case s.cfg.UseCG:
 			results[c.Rank()] = krylov.DistributedCG(c, sys, prec, bl[c.Rank()], x, s.cfg.Solver)
-		} else {
+		case s.cfg.Resilient:
+			results[c.Rank()], logs[c.Rank()] = krylov.ResilientSolve(
+				c, sys, resilientLadder(s.cfg, c, sys, prec), bl[c.Rank()], x, s.cfg.Solver)
+		default:
 			results[c.Rank()] = krylov.Distributed(c, sys, prec, bl[c.Rank()], x, s.cfg.Solver)
 		}
 		xl[c.Rank()] = x
 	})
+	if runErr != nil {
+		return nil, runErr
+	}
 
 	res := &Result{PerRank: stats, SetupTime: s.setupTime}
 	r0 := results[0]
 	res.Iterations = r0.Iterations
 	res.Converged = r0.Converged
 	res.History = r0.History
+	res.Err = r0.Err
+	res.Recovery = logs[0]
 	if r0.Initial > 0 {
 		res.Residual = r0.Final / r0.Initial
 	}

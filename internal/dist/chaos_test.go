@@ -1,0 +1,128 @@
+//go:build !paranoid
+
+// Chaos harness: the full solver stack is driven under every built-in
+// fault plan with fixed seeds, asserting the resilience contract — every
+// run either converges or ends in a typed error, within the watchdog
+// budget, with no hang and no escaped panic. (NaN-injecting plans are
+// incompatible with the paranoid build tag, whose finite-value assertions
+// panic before the typed-error machinery can classify the fault.)
+package dist_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"parapre/internal/cases"
+	"parapre/internal/core"
+	"parapre/internal/dist"
+	"parapre/internal/precond"
+)
+
+func TestChaosMatrixConvergeOrTypedError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos matrix is slow")
+	}
+	c, err := cases.ByName("tc1-poisson2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := c.Build(17)
+
+	for _, plan := range dist.FaultPlanNames() {
+		for _, seed := range []int64{1, 2, 3} {
+			for _, kind := range []precond.Kind{precond.KindBlock2, precond.KindSchur1} {
+				name := fmt.Sprintf("%s/seed%d/%s", plan, seed, kind)
+				t.Run(name, func(t *testing.T) {
+					fp, err := dist.NamedFaultPlan(plan, seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg := core.DefaultConfig(4, kind)
+					cfg.Faults = fp
+					cfg.Watchdog = 2 * time.Second
+					cfg.Resilient = true
+					res, err := core.Solve(prob, cfg)
+					if err != nil {
+						// Runtime-level failures must be typed: a deadlock,
+						// crash, or communication error satisfies the
+						// contract; anything else (an escaped panic) is a
+						// bug.
+						var de *dist.DeadlockError
+						var ce *dist.CrashError
+						var pc *dist.PeerCrashedError
+						var tm *dist.TagMismatchError
+						if !errors.As(err, &de) && !errors.As(err, &ce) &&
+							!errors.As(err, &pc) && !errors.As(err, &tm) {
+							t.Fatalf("untyped failure: %v", err)
+						}
+						return
+					}
+					if !res.Converged && res.Err == nil {
+						t.Fatalf("did not converge and carries no typed error (iters %d)", res.Iterations)
+					}
+				})
+			}
+		}
+	}
+}
+
+// A fault-free config must remain bit-identical whether or not the
+// supervised runtime is active — the end-to-end version of the dist-level
+// nil-plan guarantee.
+func TestChaosNilPlanBitIdenticalThroughCore(t *testing.T) {
+	c, err := cases.ByName("tc1-poisson2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := c.Build(17)
+
+	cfg := core.DefaultConfig(4, precond.KindBlock2)
+	base, err := core.Solve(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Watchdog = 30 * time.Second // supervised runtime, no faults
+	watched, err := core.Solve(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Iterations != watched.Iterations {
+		t.Errorf("iterations differ: %d vs %d", base.Iterations, watched.Iterations)
+	}
+	if base.SetupTime != watched.SetupTime || base.SolveTime != watched.SolveTime {
+		t.Errorf("modeled times differ: %g/%g vs %g/%g",
+			base.SetupTime, base.SolveTime, watched.SetupTime, watched.SolveTime)
+	}
+}
+
+// Repeating one chaos configuration must reproduce the same outcome —
+// fault injection is deterministic end to end.
+func TestChaosDeterministicThroughCore(t *testing.T) {
+	c, err := cases.ByName("tc1-poisson2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := c.Build(17)
+
+	run := func() (bool, int, float64) {
+		fp, err := dist.NamedFaultPlan("corrupt", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.DefaultConfig(4, precond.KindBlock2)
+		cfg.Faults = fp
+		cfg.Watchdog = 2 * time.Second
+		res, err := core.Solve(prob, cfg)
+		if err != nil {
+			t.Fatalf("corrupt plan must not stall the runtime: %v", err)
+		}
+		return res.Converged, res.Iterations, res.SolveTime
+	}
+	c1, i1, t1 := run()
+	c2, i2, t2 := run()
+	if c1 != c2 || i1 != i2 || t1 != t2 {
+		t.Errorf("chaos run not reproducible: (%v %d %g) vs (%v %d %g)", c1, i1, t1, c2, i2, t2)
+	}
+}

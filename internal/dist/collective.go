@@ -8,17 +8,20 @@ import "sync"
 // them in rank order, so floating-point results are bit-for-bit
 // deterministic regardless of goroutine scheduling. Results are
 // double-buffered by generation parity: a rank cannot be two collectives
-// ahead of another, so parity slots never collide.
+// ahead of another, so parity slots never collide. A world abort (the
+// RunOpts watchdog or a rank panic) wakes every waiter, which then
+// unwinds with abortPanic.
 type reducer struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	p    int
 
-	count  int
-	gen    int // generation currently accumulating
-	done   int // number of fully completed generations
-	inputs [][]float64
-	clocks []float64
+	count   int
+	gen     int // generation currently accumulating
+	done    int // number of fully completed generations
+	aborted bool
+	inputs  [][]float64
+	clocks  []float64
 
 	result   [2][]float64
 	maxTimes [2]float64
@@ -30,6 +33,15 @@ func newReducer(p int) *reducer {
 	return r
 }
 
+// abort releases every rank blocked in a collective; they and all later
+// arrivals unwind with abortPanic.
+func (r *reducer) abort() {
+	r.mu.Lock()
+	r.aborted = true
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
 // reduce runs one collective wave: rank's contribution in is combined with
 // everyone else's using op (applied in rank order), and the combined
 // vector plus the maximum deposited clock are returned to all ranks. op
@@ -37,6 +49,9 @@ func newReducer(p int) *reducer {
 func (r *reducer) reduce(rank int, in []float64, clock float64, op func(acc, in []float64)) ([]float64, float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.aborted {
+		panic(abortPanic{})
+	}
 	myGen := r.gen
 	r.inputs[rank] = append(r.inputs[rank][:0], in...)
 	r.clocks[rank] = clock
@@ -58,8 +73,11 @@ func (r *reducer) reduce(rank int, in []float64, clock float64, op func(acc, in 
 		r.done++
 		r.cond.Broadcast()
 	} else {
-		for r.done <= myGen {
+		for r.done <= myGen && !r.aborted {
 			r.cond.Wait()
+		}
+		if r.aborted {
+			panic(abortPanic{})
 		}
 	}
 	slot := myGen & 1
@@ -76,41 +94,49 @@ func (c *Comm) AllReduceSum(x float64) float64 {
 // must pass equal-length vectors. The summation order is rank order, so
 // results are deterministic.
 func (c *Comm) AllReduceSumVec(x []float64) []float64 {
+	c.beginOp("allreduce", -1, -1)
 	out, maxT := c.w.red.reduce(c.rank, x, c.clock, func(acc, in []float64) {
 		for i := range acc {
 			acc[i] += in[i]
 		}
 	})
 	c.syncClock(maxT, 8*len(x))
+	c.endOp()
 	return out
 }
 
 // AllReduceMax returns the maximum of x across ranks.
 func (c *Comm) AllReduceMax(x float64) float64 {
+	c.beginOp("allreduce", -1, -1)
 	out, maxT := c.w.red.reduce(c.rank, []float64{x}, c.clock, func(acc, in []float64) {
 		if in[0] > acc[0] {
 			acc[0] = in[0]
 		}
 	})
 	c.syncClock(maxT, 8)
+	c.endOp()
 	return out[0]
 }
 
 // AllReduceMin returns the minimum of x across ranks.
 func (c *Comm) AllReduceMin(x float64) float64 {
+	c.beginOp("allreduce", -1, -1)
 	out, maxT := c.w.red.reduce(c.rank, []float64{x}, c.clock, func(acc, in []float64) {
 		if in[0] < acc[0] {
 			acc[0] = in[0]
 		}
 	})
 	c.syncClock(maxT, 8)
+	c.endOp()
 	return out[0]
 }
 
 // Barrier synchronizes all ranks (and their virtual clocks).
 func (c *Comm) Barrier() {
+	c.beginOp("barrier", -1, -1)
 	_, maxT := c.w.red.reduce(c.rank, nil, c.clock, func(acc, in []float64) {})
 	c.syncClock(maxT, 0)
+	c.endOp()
 }
 
 // AllGather concatenates each rank's contribution in rank order; every
@@ -118,6 +144,7 @@ func (c *Comm) Barrier() {
 // lengths but every rank must know all of them (counts[r] = length of
 // rank r's piece).
 func (c *Comm) AllGather(x []float64, counts []int) []float64 {
+	c.beginOp("allgather", -1, -1)
 	total := 0
 	offs := make([]int, c.w.P)
 	for r, n := range counts {
@@ -132,6 +159,7 @@ func (c *Comm) AllGather(x []float64, counts []int) []float64 {
 		}
 	})
 	c.syncClock(maxT, 8*total)
+	c.endOp()
 	return out
 }
 

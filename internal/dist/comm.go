@@ -3,6 +3,8 @@ package dist
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // message is one point-to-point payload with the sender's virtual
@@ -13,26 +15,171 @@ type message struct {
 	time float64
 }
 
+// DefaultBufferDepth is the per-ordered-pair channel capacity of a world
+// created without options. See WorldOptions.BufferDepth for the deadlock
+// regime it implies.
+const DefaultBufferDepth = 8
+
+// WorldOptions tunes a communicator world beyond the machine model.
+type WorldOptions struct {
+	// BufferDepth is the per-ordered-pair channel capacity (0 means
+	// DefaultBufferDepth). A sender blocks once it has BufferDepth
+	// undelivered messages to one peer, so protocols that post all sends
+	// before any receive — like the dsys interface exchange — deadlock
+	// when some neighbor must absorb more than BufferDepth messages
+	// before its first receive. With the exchange's one-message-per-
+	// neighbor pattern any depth ≥ 1 is safe for arbitrarily dense
+	// neighbor graphs; raise it for protocols that burst several messages
+	// per peer, or lower it to 1 to stress eagerness assumptions.
+	BufferDepth int
+
+	// Faults injects the given deterministic chaos plan (nil = none).
+	// Fault plans should be driven through RunOpts, which converts
+	// injected failures into typed errors.
+	Faults *FaultPlan
+
+	// Watchdog is the real-time budget of RunOpts' progress watchdog: if
+	// no rank completes an operation for this long while some rank is
+	// still running, the world is declared deadlocked, every rank is
+	// unwound, and RunOpts returns a DeadlockError with per-rank
+	// diagnostics. 0 disables the watchdog (RunOpts applies
+	// DefaultWatchdogBudget when a fault plan is set).
+	Watchdog time.Duration
+}
+
 // World couples P rank goroutines to one machine model. Create it with
-// NewWorld and hand each rank its Comm, or use Run to drive everything.
+// NewWorld and hand each rank its Comm, or use Run / RunOpts to drive
+// everything.
 type World struct {
 	P       int
 	Machine *Machine
+	opts    WorldOptions
 	chans   []chan message // chans[from*P+to]
 	red     *reducer
+
+	// abort/crash plumbing (always allocated; only exercised under
+	// RunOpts with faults or a watchdog).
+	done      chan struct{}   // closed when the world is aborted
+	crashedCh []chan struct{} // crashedCh[r] closed when rank r hard-crashes
+	abortOnce sync.Once
+	abortMu   sync.Mutex
+	abortErr  error
+
+	// progress tracking for the watchdog (enabled iff track).
+	track    bool
+	progress atomic.Uint64
+	states   []rankState
 }
 
-// NewWorld creates a communicator world of p ranks on machine m.
+// rankState is the watchdog-visible snapshot of one rank, updated by the
+// rank under its own mutex and sampled by the watchdog goroutine.
+type rankState struct {
+	mu sync.Mutex
+	RankState
+}
+
+// NewWorld creates a communicator world of p ranks on machine m with
+// default options.
 func NewWorld(p int, m *Machine) *World {
+	return NewWorldOpts(p, m, WorldOptions{})
+}
+
+// NewWorldOpts creates a communicator world with explicit options.
+func NewWorldOpts(p int, m *Machine, opts WorldOptions) *World {
 	if p < 1 {
 		panic(fmt.Sprintf("dist: world size %d", p))
 	}
-	w := &World{P: p, Machine: m, chans: make([]chan message, p*p)}
+	depth := opts.BufferDepth
+	if depth <= 0 {
+		depth = DefaultBufferDepth
+	}
+	w := &World{
+		P:         p,
+		Machine:   m,
+		opts:      opts,
+		chans:     make([]chan message, p*p),
+		done:      make(chan struct{}),
+		crashedCh: make([]chan struct{}, p),
+		track:     opts.Watchdog > 0,
+		states:    make([]rankState, p),
+	}
 	for i := range w.chans {
-		w.chans[i] = make(chan message, 8)
+		w.chans[i] = make(chan message, depth)
+	}
+	for r := range w.crashedCh {
+		w.crashedCh[r] = make(chan struct{})
+		w.states[r].Rank = r
+		w.states[r].Peer = -1
+		w.states[r].Tag = -1
 	}
 	w.red = newReducer(p)
 	return w
+}
+
+// abort marks the world failed with err (first abort wins), releases
+// every rank blocked in a channel operation or collective, and makes all
+// subsequent operations unwind with abortPanic.
+func (w *World) abort(err error) {
+	w.abortOnce.Do(func() {
+		w.abortMu.Lock()
+		w.abortErr = err
+		w.abortMu.Unlock()
+		close(w.done)
+		w.red.abort()
+	})
+}
+
+// abortReason returns the error the world was aborted with, if any.
+func (w *World) abortReason() error {
+	w.abortMu.Lock()
+	defer w.abortMu.Unlock()
+	return w.abortErr
+}
+
+// markCrashed records rank r's hard crash and wakes every peer blocked on
+// a receive from it.
+func (w *World) markCrashed(r int) {
+	st := &w.states[r]
+	st.mu.Lock()
+	st.Crashed = true
+	st.mu.Unlock()
+	close(w.crashedCh[r])
+	w.progress.Add(1)
+}
+
+// markDone records that rank r's function returned.
+func (w *World) markDone(r int) {
+	st := &w.states[r]
+	st.mu.Lock()
+	st.Done = true
+	st.mu.Unlock()
+	w.progress.Add(1)
+}
+
+// snapshot copies every rank's diagnostic state.
+func (w *World) snapshot() []RankState {
+	out := make([]RankState, w.P)
+	for r := range w.states {
+		st := &w.states[r]
+		st.mu.Lock()
+		out[r] = st.RankState
+		st.mu.Unlock()
+	}
+	return out
+}
+
+// allDone reports whether every rank has returned or crashed.
+func (w *World) allDone() bool {
+	for r := range w.states {
+		st := &w.states[r]
+		st.mu.Lock()
+		fin := st.Done || st.Crashed
+		st.mu.Unlock()
+		if !fin {
+			return false
+		}
+	}
+	return true
 }
 
 // Comm is rank r's handle to the world. It is not safe for concurrent use
@@ -46,6 +193,8 @@ type Comm struct {
 	flops       float64
 	msgsSent    int
 	bytesSent   int
+
+	faults *rankFaults // nil when the world has no fault plan
 }
 
 // Comm returns the handle of rank r.
@@ -53,7 +202,11 @@ func (w *World) Comm(r int) *Comm {
 	if r < 0 || r >= w.P {
 		panic(fmt.Sprintf("dist: rank %d of %d", r, w.P))
 	}
-	return &Comm{w: w, rank: r}
+	c := &Comm{w: w, rank: r}
+	if w.opts.Faults != nil {
+		c.faults = newRankFaults(w.opts.Faults, r)
+	}
+	return c
 }
 
 // Rank returns this process's rank in [0, P).
@@ -65,38 +218,144 @@ func (c *Comm) Size() int { return c.w.P }
 // MachineName returns the name of the machine profile in use.
 func (c *Comm) MachineName() string { return c.w.Machine.Name }
 
+// beginOp fires planned crashes and publishes the rank's in-progress op
+// for the watchdog. peer/tag are -1 for collectives and compute.
+func (c *Comm) beginOp(op string, peer, tag int) {
+	if c.faults != nil {
+		c.faults.step(c.rank)
+	}
+	if !c.w.track {
+		return
+	}
+	st := &c.w.states[c.rank]
+	st.mu.Lock()
+	st.LastOp = op
+	st.Peer = peer
+	st.Tag = tag
+	st.Clock = c.clock
+	st.Blocked = true
+	st.mu.Unlock()
+}
+
+// endOp publishes op completion; every completion counts as world
+// progress for the watchdog.
+func (c *Comm) endOp() {
+	if !c.w.track {
+		return
+	}
+	st := &c.w.states[c.rank]
+	st.mu.Lock()
+	st.Blocked = false
+	st.Ops++
+	st.Clock = c.clock
+	st.mu.Unlock()
+	c.w.progress.Add(1)
+}
+
 // Compute charges the virtual clock for flops floating-point operations
 // of local work. Solver kernels call this with their operation counts.
+// A straggler fault plan multiplies the charged time.
 func (c *Comm) Compute(flops float64) {
+	c.beginOp("compute", -1, -1)
 	t := c.w.Machine.computeTime(flops)
+	if c.faults != nil && c.faults.straggle > 1 {
+		t *= c.faults.straggle
+	}
 	c.clock += t
 	c.computeTime += t
 	c.flops += flops
+	c.endOp()
 }
 
 // Send transmits data to rank to with the given tag. The data slice is
-// copied, so the caller may reuse its buffer. Send blocks only when the
-// channel buffer is full (8 outstanding messages per ordered pair).
+// copied, so the caller may reuse its buffer. The sender's clock is
+// charged the per-message overhead α before the message is stamped, so
+// the receiver observes it too; the receiver additionally pays
+// α + β·bytes on delivery. Send blocks only when the channel buffer is
+// full (WorldOptions.BufferDepth outstanding messages per ordered pair).
 func (c *Comm) Send(to, tag int, data []float64) {
+	c.beginOp("send", to, tag)
 	buf := append([]float64(nil), data...)
 	c.msgsSent++
 	c.bytesSent += 8 * len(buf)
-	c.w.chans[c.rank*c.w.P+to] <- message{tag: tag, data: buf, time: c.clock}
+	// Sender-side overhead: the α spent handing the message to the
+	// network is the sender's time, not the receiver's.
+	c.clock += c.w.Machine.Latency
+	m := message{tag: tag, data: buf, time: c.clock}
+	if c.faults != nil {
+		delay, dropped := c.faults.sendFaults(buf)
+		m.time += delay
+		if dropped {
+			c.endOp()
+			return // the network ate it; the stats above still count the send
+		}
+	}
+	ch := c.w.chans[c.rank*c.w.P+to]
+	select {
+	case ch <- m:
+	default:
+		// Buffer full: block, but stay cancellable on world abort and
+		// discard the message if the receiver has crashed (it would never
+		// be read).
+		select {
+		case ch <- m:
+		case <-c.w.done:
+			panic(abortPanic{})
+		case <-c.w.crashedCh[to]:
+		}
+	}
+	c.endOp()
 }
 
 // Recv receives the next message from rank from, which must carry the
-// expected tag (a mismatch is a protocol bug and panics). The receiver's
-// clock advances to max(own, sender) + α + β·bytes.
+// expected tag. It is the legacy panicking wrapper around RecvErr: a tag
+// mismatch or crashed peer panics with the typed error as the panic
+// value.
 func (c *Comm) Recv(from, tag int) []float64 {
-	m := <-c.w.chans[from*c.w.P+c.rank]
+	data, err := c.RecvErr(from, tag)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// RecvErr receives the next message from rank from. The receiver's clock
+// advances to max(own, sender) + α + β·bytes. A message with the wrong
+// tag yields a *TagMismatchError; a receive from a hard-crashed peer with
+// no message left in flight yields a *PeerCrashedError.
+func (c *Comm) RecvErr(from, tag int) ([]float64, error) {
+	c.beginOp("recv", from, tag)
+	ch := c.w.chans[from*c.w.P+c.rank]
+	var m message
+	select {
+	case m = <-ch:
+	default:
+		// Nothing buffered yet: block, but wake on world abort or on the
+		// peer crashing. A crashed peer may still have messages in
+		// flight, so drain those before declaring the peer dead.
+		select {
+		case m = <-ch:
+		case <-c.w.done:
+			panic(abortPanic{})
+		case <-c.w.crashedCh[from]:
+			select {
+			case m = <-ch:
+			default:
+				c.endOp()
+				return nil, &PeerCrashedError{Rank: c.rank, Peer: from, Tag: tag}
+			}
+		}
+	}
 	if m.tag != tag {
-		panic(fmt.Sprintf("dist: rank %d expected tag %d from %d, got %d", c.rank, tag, from, m.tag))
+		c.endOp()
+		return nil, &TagMismatchError{Rank: c.rank, Peer: from, Want: tag, Got: m.tag}
 	}
 	if m.time > c.clock {
 		c.clock = m.time
 	}
 	c.clock += c.w.Machine.messageTime(8 * len(m.data))
-	return m.data
+	c.endOp()
+	return m.data, nil
 }
 
 // Stats reports this rank's accounting so far.
@@ -121,26 +380,6 @@ func (c *Comm) Stats() Stats {
 		MsgsSent:    c.msgsSent,
 		BytesSent:   c.bytesSent,
 	}
-}
-
-// Run spawns fn on p rank goroutines over machine m, waits for all to
-// finish, and returns the per-rank stats. It is the moral equivalent of
-// mpirun.
-func Run(p int, m *Machine, fn func(c *Comm)) []Stats {
-	w := NewWorld(p, m)
-	stats := make([]Stats, p)
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for r := 0; r < p; r++ {
-		c := w.Comm(r)
-		go func() {
-			defer wg.Done()
-			fn(c)
-			stats[c.rank] = c.Stats()
-		}()
-	}
-	wg.Wait()
-	return stats
 }
 
 // MaxClock returns the slowest rank's virtual time — the modeled

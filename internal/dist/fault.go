@@ -1,0 +1,140 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// FaultPlan is a seeded, deterministic chaos schedule for one world. Every
+// injection decision is drawn from a per-rank PRNG seeded by (Seed, rank),
+// and every rank's operation sequence is itself deterministic, so a plan
+// reproduces the exact same faults on every run — no wall-clock
+// randomness anywhere. The zero value injects nothing; a nil plan is
+// bypassed with a single pointer check per operation, leaving modeled
+// times bit-identical to a world without the fault layer.
+//
+// Fault plans are meant to be driven through RunOpts (or core.Config),
+// which converts the injected failures into typed errors; under the
+// legacy Run a hard crash would take the process down.
+type FaultPlan struct {
+	Seed int64
+
+	// DropProb is the per-message probability that the network silently
+	// eats a Send. The receiver keeps waiting — the symptom is a watchdog
+	// DeadlockError or, once the stream re-pairs, a TagMismatchError.
+	DropProb float64
+
+	// DelayProb/DelayMax inject per-message latency jitter: with
+	// probability DelayProb a message's virtual timestamp is pushed back
+	// by Uniform(0, DelayMax) seconds, modeling a congested network.
+	DelayProb float64
+	DelayMax  float64
+
+	// CorruptProb is the per-message probability of payload corruption:
+	// half the injections poison one element with NaN (detected by the
+	// strict exchange and the solver's breakdown checks), half flip one
+	// mantissa bit (a silent value error that must surface through
+	// residual behavior).
+	CorruptProb float64
+
+	// StragglerEvery/StragglerFactor slow down every StragglerEvery-th
+	// rank (ranks r with (r+1) % StragglerEvery == 0) by multiplying its
+	// compute time, modeling the paper's "heavily loaded" Origin 3800.
+	// 0 disables.
+	StragglerEvery  int
+	StragglerFactor float64
+
+	// CrashRank hard-crashes one rank after it has completed CrashAfterOps
+	// dist operations (Send/Recv/collective/Compute calls). Crashing is
+	// active only when CrashAfterOps > 0, so the zero value is safe.
+	CrashRank     int
+	CrashAfterOps int
+}
+
+// FaultPlanNames lists the built-in chaos plans, in matrix order.
+func FaultPlanNames() []string {
+	names := make([]string, 0, len(namedPlans))
+	for n := range namedPlans {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var namedPlans = map[string]func(seed int64) *FaultPlan{
+	"drop":      func(s int64) *FaultPlan { return &FaultPlan{Seed: s, DropProb: 0.01} },
+	"delay":     func(s int64) *FaultPlan { return &FaultPlan{Seed: s, DelayProb: 0.25, DelayMax: 2e-3} },
+	"corrupt":   func(s int64) *FaultPlan { return &FaultPlan{Seed: s, CorruptProb: 0.02} },
+	"straggler": func(s int64) *FaultPlan { return &FaultPlan{Seed: s, StragglerEvery: 4, StragglerFactor: 8} },
+	"crash":     func(s int64) *FaultPlan { return &FaultPlan{Seed: s, CrashRank: 1, CrashAfterOps: 400} },
+}
+
+// NamedFaultPlan returns one of the built-in chaos plans ("drop",
+// "delay", "corrupt", "straggler", "crash") seeded with seed.
+func NamedFaultPlan(name string, seed int64) (*FaultPlan, error) {
+	mk, ok := namedPlans[name]
+	if !ok {
+		return nil, fmt.Errorf("dist: unknown fault plan %q (have %v)", name, FaultPlanNames())
+	}
+	return mk(seed), nil
+}
+
+// rankFaults is the per-rank instantiation of a FaultPlan: its own PRNG
+// stream plus the precomputed straggler/crash roles of this rank.
+type rankFaults struct {
+	plan     *FaultPlan
+	rng      *rand.Rand
+	straggle float64 // compute-time multiplier (1 = none)
+	crashAt  int     // op count at which this rank dies; -1 = never
+	ops      int     // dist operations started so far
+}
+
+func newRankFaults(p *FaultPlan, rank int) *rankFaults {
+	// SplitMix64-style seed scrambling keeps per-rank streams decorrelated
+	// even for adjacent (Seed, rank) pairs.
+	s := uint64(p.Seed)*0x9E3779B97F4A7C15 + uint64(rank+1)*0xBF58476D1CE4E5B9
+	s ^= s >> 31
+	f := &rankFaults{plan: p, rng: rand.New(rand.NewSource(int64(s))), straggle: 1, crashAt: -1}
+	if p.StragglerEvery > 0 && p.StragglerFactor > 1 && (rank+1)%p.StragglerEvery == 0 {
+		f.straggle = p.StragglerFactor
+	}
+	if p.CrashAfterOps > 0 && p.CrashRank == rank {
+		f.crashAt = p.CrashAfterOps
+	}
+	return f
+}
+
+// step counts one dist operation and fires the planned hard crash. Called
+// at the start of every Send/Recv/collective/Compute.
+func (f *rankFaults) step(rank int) {
+	f.ops++
+	if f.crashAt >= 0 && f.ops > f.crashAt {
+		panic(crashPanic{rank: rank})
+	}
+}
+
+// sendFaults draws this message's injection decisions. The draw count per
+// call is fixed (three uniforms, plus conditional draws whose conditions
+// are themselves deterministic), so the stream stays aligned across runs.
+// It returns the extra virtual delay and whether the message is dropped;
+// corruption mutates buf in place.
+func (f *rankFaults) sendFaults(buf []float64) (delay float64, dropped bool) {
+	p := f.plan
+	dropU, delayU, corrU := f.rng.Float64(), f.rng.Float64(), f.rng.Float64()
+	if p.DelayProb > 0 && delayU < p.DelayProb {
+		delay = f.rng.Float64() * p.DelayMax
+	}
+	if p.CorruptProb > 0 && corrU < p.CorruptProb && len(buf) > 0 {
+		i := f.rng.Intn(len(buf))
+		if f.rng.Float64() < 0.5 {
+			buf[i] = math.NaN()
+		} else {
+			bit := uint(f.rng.Intn(52)) // mantissa bit: a silent value error
+			buf[i] = math.Float64frombits(math.Float64bits(buf[i]) ^ (1 << bit))
+		}
+	}
+	dropped = p.DropProb > 0 && dropU < p.DropProb
+	return delay, dropped
+}

@@ -1,0 +1,207 @@
+package dist
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// ringProtocol is a small representative workload: compute, a ring
+// send/recv, and a collective per round.
+func ringProtocol(rounds int) func(c *Comm) {
+	return func(c *Comm) {
+		p := c.Size()
+		for i := 0; i < rounds; i++ {
+			c.Compute(1000)
+			c.Send((c.Rank()+1)%p, 5, []float64{float64(c.Rank()), float64(i)})
+			c.Recv((c.Rank()+p-1)%p, 5)
+			c.AllReduceSum(float64(c.Rank()))
+		}
+	}
+}
+
+func statsEqual(a, b []Stats) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// A nil fault plan must leave the modeled times bit-identical to the
+// legacy runtime, with and without the watchdog's progress tracking.
+func TestNilFaultPlanBitIdentical(t *testing.T) {
+	m := testMachine()
+	base := Run(4, m, ringProtocol(20))
+
+	plain, err := RunOpts(4, m, WorldOptions{}, ringProtocol(20))
+	if err != nil {
+		t.Fatalf("RunOpts: %v", err)
+	}
+	if !statsEqual(base, plain) {
+		t.Errorf("RunOpts without options diverges from Run:\n%v\nvs\n%v", base, plain)
+	}
+
+	watched, err := RunOpts(4, m, WorldOptions{Watchdog: 10 * time.Second}, ringProtocol(20))
+	if err != nil {
+		t.Fatalf("RunOpts watchdog: %v", err)
+	}
+	if !statsEqual(base, watched) {
+		t.Errorf("watchdog tracking changed the modeled times:\n%v\nvs\n%v", base, watched)
+	}
+}
+
+// The same seed must reproduce the exact same faults: two runs under an
+// identical plan give bit-identical stats.
+func TestFaultPlanDeterministic(t *testing.T) {
+	m := testMachine()
+	plan := &FaultPlan{Seed: 42, DelayProb: 0.5, DelayMax: 1e-3, CorruptProb: 0.3}
+	opts := WorldOptions{Faults: plan, Watchdog: 10 * time.Second}
+	first, err1 := RunOpts(4, m, opts, ringProtocol(20))
+	second, err2 := RunOpts(4, m, opts, ringProtocol(20))
+	if err1 != nil || err2 != nil {
+		t.Fatalf("runs failed: %v / %v", err1, err2)
+	}
+	if !statsEqual(first, second) {
+		t.Errorf("same seed produced different runs:\n%v\nvs\n%v", first, second)
+	}
+}
+
+// Delay jitter must push receiver clocks later than the fault-free run.
+func TestDelayFaultSlowsReceivers(t *testing.T) {
+	m := testMachine()
+	base := Run(4, m, ringProtocol(20))
+	plan := &FaultPlan{Seed: 1, DelayProb: 1, DelayMax: 1e-2}
+	delayed, err := RunOpts(4, m, WorldOptions{Faults: plan, Watchdog: 10 * time.Second}, ringProtocol(20))
+	if err != nil {
+		t.Fatalf("RunOpts: %v", err)
+	}
+	if MaxClock(delayed) <= MaxClock(base) {
+		t.Errorf("delay plan did not slow the run: %g <= %g", MaxClock(delayed), MaxClock(base))
+	}
+}
+
+// Straggler plans multiply compute time on the designated ranks only.
+func TestStragglerFaultSlowsDesignatedRank(t *testing.T) {
+	m := testMachine()
+	plan := &FaultPlan{Seed: 1, StragglerEvery: 2, StragglerFactor: 8}
+	stats, err := RunOpts(4, m, WorldOptions{Faults: plan, Watchdog: 10 * time.Second}, func(c *Comm) {
+		c.Compute(1e6)
+	})
+	if err != nil {
+		t.Fatalf("RunOpts: %v", err)
+	}
+	// Ranks 1 and 3 are stragglers ((r+1)%2 == 0); 0 and 2 are not.
+	if stats[1].ComputeTime <= stats[0].ComputeTime {
+		t.Errorf("straggler rank 1 not slowed: %g vs %g", stats[1].ComputeTime, stats[0].ComputeTime)
+	}
+	want := stats[0].ComputeTime * plan.StragglerFactor
+	if diff := stats[1].ComputeTime - want; diff > 1e-15 || diff < -1e-15 {
+		t.Errorf("straggler factor not applied exactly: got %g want %g", stats[1].ComputeTime, want)
+	}
+}
+
+// A certain drop leaves the receiver waiting forever; the watchdog must
+// convert the stall into a DeadlockError that names the stuck receive.
+func TestDropFaultTriggersDeadlockError(t *testing.T) {
+	m := testMachine()
+	plan := &FaultPlan{Seed: 1, DropProb: 1}
+	_, err := RunOpts(2, m, WorldOptions{Faults: plan, Watchdog: 100 * time.Millisecond}, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 9, []float64{1})
+		} else {
+			c.Recv(0, 9)
+		}
+	})
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("want DeadlockError, got %v", err)
+	}
+	r1 := de.Ranks[1]
+	if r1.LastOp != "recv" || r1.Peer != 0 || r1.Tag != 9 || !r1.Blocked {
+		t.Errorf("rank 1 diagnostics wrong: %+v", r1)
+	}
+}
+
+// A planned hard crash surfaces as a PeerCrashedError on the blocked
+// receiver and a CrashError from the harness once the survivors finish.
+func TestCrashFaultTypedErrors(t *testing.T) {
+	m := testMachine()
+	plan := &FaultPlan{Seed: 1, CrashRank: 0, CrashAfterOps: 1}
+	var recvErr error
+	stats, err := RunOpts(2, m, WorldOptions{Faults: plan, Watchdog: 5 * time.Second}, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Compute(10) // op 1 survives...
+			c.Compute(10) // ...op 2 fires the crash
+			t.Error("rank 0 survived its planned crash")
+			return
+		}
+		_, recvErr = c.RecvErr(0, 3)
+	})
+	var ce *CrashError
+	if !errors.As(err, &ce) || len(ce.Ranks) != 1 || ce.Ranks[0] != 0 {
+		t.Fatalf("want CrashError{[0]}, got %v", err)
+	}
+	var pe *PeerCrashedError
+	if !errors.As(recvErr, &pe) || pe.Peer != 0 || pe.Rank != 1 || pe.Tag != 3 {
+		t.Fatalf("want PeerCrashedError from rank 0, got %v", recvErr)
+	}
+	if stats == nil {
+		t.Fatal("stats must be returned even on error")
+	}
+}
+
+// In-flight messages from a crashed peer must still be deliverable before
+// the receiver is told the peer is dead.
+func TestCrashedPeerDrainsInFlightMessages(t *testing.T) {
+	m := testMachine()
+	plan := &FaultPlan{Seed: 1, CrashRank: 0, CrashAfterOps: 1}
+	var first []float64
+	var firstErr, secondErr error
+	_, err := RunOpts(2, m, WorldOptions{Faults: plan, Watchdog: 5 * time.Second}, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 4, []float64{7}) // op 1: delivered
+			c.Compute(1)               // op 2: crash
+			return
+		}
+		time.Sleep(10 * time.Millisecond) // let rank 0 send and crash
+		first, firstErr = c.RecvErr(0, 4)
+		_, secondErr = c.RecvErr(0, 4)
+	})
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want CrashError, got %v", err)
+	}
+	if firstErr != nil || len(first) != 1 || first[0] != 7 {
+		t.Errorf("in-flight message lost: %v %v", first, firstErr)
+	}
+	var pe *PeerCrashedError
+	if !errors.As(secondErr, &pe) {
+		t.Errorf("drained channel must report the crash, got %v", secondErr)
+	}
+}
+
+// The built-in named plans must all resolve, and unknown names must not.
+func TestNamedFaultPlans(t *testing.T) {
+	names := FaultPlanNames()
+	if len(names) == 0 {
+		t.Fatal("no built-in plans")
+	}
+	for _, n := range names {
+		p, err := NamedFaultPlan(n, 5)
+		if err != nil || p == nil {
+			t.Errorf("plan %q: %v", n, err)
+			continue
+		}
+		if p.Seed != 5 {
+			t.Errorf("plan %q ignores the seed", n)
+		}
+	}
+	if _, err := NamedFaultPlan("nope", 1); err == nil {
+		t.Error("unknown plan accepted")
+	}
+}

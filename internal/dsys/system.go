@@ -252,11 +252,105 @@ func wireNeighbors(systems []*System) {
 // tagExchange is the message tag used by interface exchanges.
 const tagExchange = 100
 
+// ExchangeError describes a failed or corrupted neighbor exchange: a
+// receive that returned a typed communicator error, a neighbor block of
+// the wrong length, or a non-finite payload (injected corruption or a
+// poisoned upstream vector). It wraps the underlying receive error, if
+// any, for errors.As/Is inspection.
+type ExchangeError struct {
+	Rank   int
+	Peer   int // -1 when the error is not tied to one neighbor
+	Reason string
+	Err    error // underlying dist receive error (may be nil)
+}
+
+func (e *ExchangeError) Error() string {
+	msg := fmt.Sprintf("dsys: rank %d exchange with rank %d: %s", e.Rank, e.Peer, e.Reason)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying receive error.
+func (e *ExchangeError) Unwrap() error { return e.Err }
+
 // Exchange refreshes the external-interface section of ext (length
 // NLoc+NExt, owned values in ext[:NLoc] already filled by the caller) by
-// exchanging interface values with all neighbors through c.
+// exchanging interface values with all neighbors through c. It is the
+// legacy API: a failed receive panics with the typed error; corrupted
+// (non-finite) payloads pass through silently. Error-aware callers use
+// ExchangeErr.
 func (s *System) Exchange(c *dist.Comm, ext []float64) {
 	paranoid.CheckLen("dsys: Exchange ext", len(ext), s.NLoc()+s.NExt())
+	s.sendInterface(c, ext)
+	for _, nb := range s.Neigh {
+		if nb.RecvLen == 0 {
+			continue
+		}
+		got := c.Recv(nb.Rank, tagExchange)
+		paranoid.CheckLen("dsys: Exchange recv block", len(got), nb.RecvLen)
+		copy(ext[s.NLoc()+nb.RecvOff:s.NLoc()+nb.RecvOff+nb.RecvLen], got)
+	}
+}
+
+// ExchangeErr is the strict interface exchange: every neighbor receive is
+// validated (typed receive errors, block length, payload finiteness) and
+// failures surface as an *ExchangeError instead of a panic or a silent
+// wrong answer. All sends are posted before the first receive, so a
+// receive-side failure never strands a neighbor waiting for this rank's
+// contribution.
+func (s *System) ExchangeErr(c *dist.Comm, ext []float64) error {
+	if len(ext) != s.NLoc()+s.NExt() {
+		return &ExchangeError{Rank: s.Rank, Peer: -1,
+			Reason: fmt.Sprintf("ext buffer length %d, want %d", len(ext), s.NLoc()+s.NExt())}
+	}
+	s.sendInterface(c, ext)
+	// Every neighbor receive is drained even after a failure: returning
+	// early would strand the remaining in-flight blocks in their channels,
+	// and the next exchange (possibly of a different tag) would mispair
+	// against the stale messages. The first error wins.
+	var first *ExchangeError
+	fail := func(e *ExchangeError) {
+		if first == nil {
+			first = e
+		}
+	}
+	for _, nb := range s.Neigh {
+		if nb.RecvLen == 0 {
+			continue
+		}
+		got, err := c.RecvErr(nb.Rank, tagExchange)
+		if err != nil {
+			fail(&ExchangeError{Rank: s.Rank, Peer: nb.Rank, Reason: "receive failed", Err: err})
+			continue
+		}
+		if len(got) != nb.RecvLen {
+			fail(&ExchangeError{Rank: s.Rank, Peer: nb.Rank,
+				Reason: fmt.Sprintf("neighbor block length %d, want %d", len(got), nb.RecvLen)})
+			continue
+		}
+		ok := true
+		for _, v := range got {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				fail(&ExchangeError{Rank: s.Rank, Peer: nb.Rank, Reason: "non-finite payload"})
+				ok = false
+				break
+			}
+		}
+		if ok {
+			copy(ext[s.NLoc()+nb.RecvOff:s.NLoc()+nb.RecvOff+nb.RecvLen], got)
+		}
+	}
+	if first != nil {
+		return first
+	}
+	return nil
+}
+
+// sendInterface posts this rank's owned interface values to every
+// neighbor that reads them.
+func (s *System) sendInterface(c *dist.Comm, ext []float64) {
 	buf := make([]float64, 0, 64)
 	for _, nb := range s.Neigh {
 		if len(nb.SendIdx) == 0 {
@@ -267,14 +361,6 @@ func (s *System) Exchange(c *dist.Comm, ext []float64) {
 			buf = append(buf, ext[l])
 		}
 		c.Send(nb.Rank, tagExchange, buf)
-	}
-	for _, nb := range s.Neigh {
-		if nb.RecvLen == 0 {
-			continue
-		}
-		got := c.Recv(nb.Rank, tagExchange)
-		paranoid.CheckLen("dsys: Exchange recv block", len(got), nb.RecvLen)
-		copy(ext[s.NLoc()+nb.RecvOff:s.NLoc()+nb.RecvOff+nb.RecvLen], got)
 	}
 }
 
@@ -289,6 +375,23 @@ func (s *System) MatVec(c *dist.Comm, y, x, ext []float64) {
 	s.Exchange(c, ext)
 	s.A.MulVecTo(y, ext)
 	c.Compute(2 * float64(s.A.NNZ()))
+}
+
+// MatVecErr is the strict distributed matrix-vector product: the
+// interface exchange runs through ExchangeErr, so communication failures
+// and injected corruption come back as typed errors. On error y is left
+// untouched; the caller decides how to degrade. The virtual-clock charges
+// of a successful call are identical to MatVec.
+func (s *System) MatVecErr(c *dist.Comm, y, x, ext []float64) error {
+	paranoid.CheckMinLen("dsys: MatVec x", len(x), s.NLoc())
+	paranoid.CheckMinLen("dsys: MatVec y", len(y), s.NLoc())
+	copy(ext, x)
+	if err := s.ExchangeErr(c, ext); err != nil {
+		return err
+	}
+	s.A.MulVecTo(y, ext)
+	c.Compute(2 * float64(s.A.NNZ()))
+	return nil
 }
 
 // Dot returns the global inner product of two distributed vectors.

@@ -1,0 +1,88 @@
+package krylov
+
+import (
+	"parapre/internal/dist"
+	"parapre/internal/dsys"
+)
+
+// Stage is one rung of the ResilientSolve escalation ladder: a named
+// preconditioner supplied as a lazy constructor, so the setup cost of a
+// fallback is only paid if the ladder actually reaches it. Prec may
+// return nil for an unpreconditioned stage.
+type Stage struct {
+	Name string
+	Prec func() Prec
+}
+
+// RecoveryStep records one solve attempt of the escalation ladder.
+type RecoveryStep struct {
+	Stage      string
+	Attempt    int // 1 = first try on this stage, 2 = fresh-restart retry
+	Iterations int
+	Converged  bool
+	Err        error // the attempt's typed solver/communication error, if any
+}
+
+// RecoveryLog is the structured account of what ResilientSolve did: every
+// attempt in order, and whether the solve ultimately succeeded only
+// thanks to the ladder (a retry or a fallback stage).
+type RecoveryLog struct {
+	Steps     []RecoveryStep
+	Recovered bool // converged, but not on the first attempt of stage 0
+}
+
+// ResilientSolve runs the distributed solve with graceful degradation:
+//
+//  1. solve with the first stage's preconditioner;
+//  2. on a breakdown (NaN poisoning, annihilated rotation, communication
+//     fault) discard the contaminated iterate and retry the same stage
+//     once from a fresh zero restart;
+//  3. if the stage still fails, escalate to the next stage (a stronger or
+//     alternative preconditioner) and repeat;
+//  4. when the ladder is exhausted, return the last result with its typed
+//     error intact.
+//
+// Plain non-convergence (MaxIters reached without a breakdown) skips the
+// fresh-restart retry — rerunning the identical iteration cannot help —
+// and escalates directly. Every decision is derived from quantities
+// replicated across ranks (convergence flags and breakdown detection flow
+// through global reductions), so all ranks walk the ladder in lockstep;
+// ResilientSolve must be called collectively, like Distributed. The
+// returned RecoveryLog lists every attempt.
+func ResilientSolve(c *dist.Comm, s *dsys.System, stages []Stage, b, x []float64, opt Options) (Result, *RecoveryLog) {
+	log := &RecoveryLog{}
+	var res Result
+	first := true
+	for si, st := range stages {
+		var prec Prec
+		if st.Prec != nil {
+			prec = st.Prec()
+		}
+		for attempt := 1; attempt <= 2; attempt++ {
+			if !first {
+				// A failed attempt may have left NaNs in the iterate;
+				// restart from zero.
+				for i := range x {
+					x[i] = 0
+				}
+			}
+			first = false
+			res = Distributed(c, s, prec, b, x, opt)
+			log.Steps = append(log.Steps, RecoveryStep{
+				Stage:      st.Name,
+				Attempt:    attempt,
+				Iterations: res.Iterations,
+				Converged:  res.Converged,
+				Err:        res.Err,
+			})
+			if res.Converged {
+				log.Recovered = si > 0 || attempt > 1
+				return res, log
+			}
+			if res.Err == nil {
+				break // ran out of iterations cleanly: escalate, don't retry
+			}
+		}
+	}
+	return res, log
+}

@@ -1,0 +1,150 @@
+//go:build !paranoid
+
+// The recovery tests inject NaN through the preconditioner, which the
+// paranoid build's finite-value assertions would turn into panics before
+// the escalation ladder can observe the breakdown.
+package krylov
+
+import (
+	"math"
+	"testing"
+
+	"parapre/internal/dist"
+)
+
+func resilientOpts() Options {
+	return Options{Restart: 30, MaxIters: 3000, Tol: 1e-8}
+}
+
+// A clean solve takes the first rung: one step, no recovery flag.
+func TestResilientSolveCleanFirstStage(t *testing.T) {
+	const p = 2
+	systems, _, _ := buildDistributedPoisson(t, 13, p)
+	dist.Run(p, testMachine(), func(c *dist.Comm) {
+		s := systems[c.Rank()]
+		x := make([]float64, s.NLoc())
+		stages := []Stage{{Name: "none", Prec: func() Prec { return nil }}}
+		res, log := ResilientSolve(c, s, stages, s.B, x, resilientOpts())
+		if !res.Converged {
+			t.Errorf("rank %d: clean solve failed: %+v", c.Rank(), res)
+		}
+		if len(log.Steps) != 1 || log.Recovered {
+			t.Errorf("rank %d: want 1 step and no recovery, got %d steps recovered=%v",
+				c.Rank(), len(log.Steps), log.Recovered)
+		}
+	})
+}
+
+// A permanently poisoning stage-0 preconditioner must burn both attempts
+// (first try plus the fresh-restart retry), then the ladder escalates to
+// the fallback stage, which converges: three steps, Recovered = true.
+func TestResilientSolveEscalatesPastPoisonedStage(t *testing.T) {
+	const p = 2
+	systems, _, _ := buildDistributedPoisson(t, 13, p)
+	dist.Run(p, testMachine(), func(c *dist.Comm) {
+		s := systems[c.Rank()]
+		x := make([]float64, s.NLoc())
+		poison := func(z, r []float64) {
+			for i := range z {
+				z[i] = math.NaN()
+			}
+		}
+		stages := []Stage{
+			{Name: "poisoned", Prec: func() Prec { return poison }},
+			{Name: "identity", Prec: func() Prec { return nil }},
+		}
+		res, log := ResilientSolve(c, s, stages, s.B, x, resilientOpts())
+		if !res.Converged {
+			t.Fatalf("rank %d: ladder did not recover: %+v", c.Rank(), res)
+		}
+		if len(log.Steps) != 3 {
+			t.Fatalf("rank %d: want 3 steps (poisoned×2, identity×1), got %+v", c.Rank(), log.Steps)
+		}
+		for i, st := range log.Steps[:2] {
+			if st.Stage != "poisoned" || st.Attempt != i+1 || st.Converged || st.Err == nil {
+				t.Errorf("rank %d step %d: want failed poisoned attempt %d with typed error, got %+v",
+					c.Rank(), i, i+1, st)
+			}
+		}
+		last := log.Steps[2]
+		if last.Stage != "identity" || last.Attempt != 1 || !last.Converged {
+			t.Errorf("rank %d: want identity stage converging on attempt 1, got %+v", c.Rank(), last)
+		}
+		if !log.Recovered {
+			t.Error("recovery via the fallback stage must set Recovered")
+		}
+	})
+}
+
+// A transient fault — rank 0's preconditioner corrupts only its very
+// first application — breaks down attempt 1 on every rank (the NaN
+// replicates through the global reductions), and the fresh-restart retry
+// of the same stage converges: recovery without escalation.
+func TestResilientSolveFreshRestartHealsTransientFault(t *testing.T) {
+	const p = 2
+	systems, _, _ := buildDistributedPoisson(t, 13, p)
+	logs := make([]*RecoveryLog, p)
+	dist.Run(p, testMachine(), func(c *dist.Comm) {
+		s := systems[c.Rank()]
+		x := make([]float64, s.NLoc())
+		applies := 0
+		flaky := func(z, r []float64) {
+			applies++
+			copy(z, r)
+			if c.Rank() == 0 && applies == 1 {
+				for i := range z {
+					z[i] = math.NaN()
+				}
+			}
+		}
+		stages := []Stage{{Name: "flaky", Prec: func() Prec { return flaky }}}
+		res, log := ResilientSolve(c, s, stages, s.B, x, resilientOpts())
+		logs[c.Rank()] = log
+		if !res.Converged {
+			t.Fatalf("rank %d: retry did not recover: %+v", c.Rank(), res)
+		}
+		if len(log.Steps) != 2 {
+			t.Fatalf("rank %d: want 2 steps (failed try, converged retry), got %+v", c.Rank(), log.Steps)
+		}
+		if log.Steps[0].Converged || log.Steps[0].Err == nil {
+			t.Errorf("rank %d: attempt 1 must fail with a typed error, got %+v", c.Rank(), log.Steps[0])
+		}
+		if !log.Steps[1].Converged || log.Steps[1].Attempt != 2 || log.Steps[1].Stage != "flaky" {
+			t.Errorf("rank %d: attempt 2 must converge on the same stage, got %+v", c.Rank(), log.Steps[1])
+		}
+		if !log.Recovered {
+			t.Error("fresh-restart recovery must set Recovered")
+		}
+	})
+	// The ladder walk is collective: both ranks must have recorded the
+	// identical sequence even though only rank 0 injected the fault.
+	for r := 1; r < p; r++ {
+		if len(logs[r].Steps) != len(logs[0].Steps) {
+			t.Fatalf("ranks disagree on ladder walk: %+v vs %+v", logs[0].Steps, logs[r].Steps)
+		}
+	}
+}
+
+// Exhausting the ladder returns the last failed result with its typed
+// error and an honest log: no recovery claimed.
+func TestResilientSolveExhaustedLadderKeepsTypedError(t *testing.T) {
+	const p = 2
+	systems, _, _ := buildDistributedPoisson(t, 13, p)
+	dist.Run(p, testMachine(), func(c *dist.Comm) {
+		s := systems[c.Rank()]
+		x := make([]float64, s.NLoc())
+		poison := func(z, r []float64) {
+			for i := range z {
+				z[i] = math.NaN()
+			}
+		}
+		stages := []Stage{{Name: "poisoned", Prec: func() Prec { return poison }}}
+		res, log := ResilientSolve(c, s, stages, s.B, x, resilientOpts())
+		if res.Converged || res.Err == nil {
+			t.Errorf("rank %d: exhausted ladder must fail with a typed error, got %+v", c.Rank(), res)
+		}
+		if len(log.Steps) != 2 || log.Recovered {
+			t.Errorf("rank %d: want 2 failed steps and Recovered=false, got %+v", c.Rank(), log)
+		}
+	})
+}
