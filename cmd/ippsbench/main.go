@@ -22,6 +22,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -29,6 +31,7 @@ import (
 
 	"parapre/internal/bench"
 	"parapre/internal/dist"
+	"parapre/internal/obs"
 	"parapre/internal/par"
 )
 
@@ -46,11 +49,23 @@ func main() {
 		faults    = flag.String("faults", "", `chaos plan for every solve: "drop", "delay", "corrupt", "straggler" or "crash"`)
 		faultSeed = flag.Int64("faultseed", 1, "chaos plan seed")
 		resilient = flag.Bool("resilient", false, "run solves through the self-healing escalation ladder")
+
+		trace   = flag.String("trace", "", "write a Chrome trace-event JSON covering every solve (one process per solve)")
+		metrics = flag.String("metrics", "", "write a Prometheus-style text metrics snapshot covering every solve")
+		phases  = flag.Bool("phases", false, "print the per-phase virtual-time breakdown under each table")
+		pprofOn = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
 	if *workers > 0 {
 		par.SetWorkers(*workers)
+	}
+	if *pprofOn != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofOn, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "ippsbench: pprof:", err)
+			}
+		}()
 	}
 
 	if *list {
@@ -102,6 +117,19 @@ func main() {
 		}
 	}
 
+	// With any observability output requested, every solve gets its own
+	// collector; the exports carry the solve label ("<id>/<precond>/P=<p>").
+	var observed []labeledCollector
+	if *trace != "" || *metrics != "" || *phases {
+		for i := range toRun {
+			toRun[i].Observe = func(label string) *obs.Collector {
+				col := obs.NewCollector()
+				observed = append(observed, labeledCollector{label: label, col: col})
+				return col
+			}
+		}
+	}
+
 	var allTables []bench.Table
 	for _, e := range toRun {
 		start := time.Now()
@@ -115,9 +143,38 @@ func main() {
 			} else {
 				t.Write(os.Stdout)
 			}
+			if *phases {
+				t.WritePhases(os.Stdout)
+			}
 		}
 		allTables = append(allTables, tables...)
 		fmt.Printf("[%s completed in %.1fs real time]\n\n", e.ID, time.Since(start).Seconds())
+	}
+
+	if *trace != "" {
+		entries := make([]obs.TraceEntry, len(observed))
+		for i, lc := range observed {
+			entries[i] = obs.TraceEntry{Name: lc.label, PID: i, Collector: lc.col}
+		}
+		if err := obs.WriteChromeTraceFile(*trace, entries, obs.TraceOptions{}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote trace %s (%d solves; open in chrome://tracing or https://ui.perfetto.dev)\n", *trace, len(entries))
+	}
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		for _, lc := range observed {
+			if err := lc.col.WriteMetrics(f, map[string]string{"solve": lc.label}); err != nil {
+				fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote metrics %s (%d solves)\n", *metrics, len(observed))
 	}
 
 	if *jsonOut {
@@ -128,6 +185,13 @@ func main() {
 		}
 		fmt.Printf("wrote %s (workers=%d)\n", path, par.Workers())
 	}
+}
+
+// labeledCollector pairs one solve's collector with its label for the
+// post-run exports.
+type labeledCollector struct {
+	label string
+	col   *obs.Collector
 }
 
 func parseProcs(s string) ([]int, error) {

@@ -19,11 +19,14 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
 	"parapre"
 	"parapre/internal/dist"
+	"parapre/internal/obs"
 	"parapre/internal/precond"
 )
 
@@ -51,8 +54,21 @@ func main() {
 		faultSeed = flag.Int64("faultseed", 1, "chaos plan seed (same seed ⇒ same faults)")
 		watchdog  = flag.Duration("watchdog", 0, "deadlock watchdog budget (0 = default with -faults, off otherwise)")
 		resilient = flag.Bool("resilient", false, "self-heal breakdowns: fresh restart, then fallback preconditioner")
+
+		trace   = flag.String("trace", "", "write a Chrome trace-event JSON of the solve (open in chrome://tracing or Perfetto)")
+		metrics = flag.String("metrics", "", "write a Prometheus-style text metrics snapshot of the solve")
+		phases  = flag.Bool("phases", false, "print the per-phase virtual-time breakdown")
+		pprofOn = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofOn != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofOn, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "solvepde: pprof:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, c := range parapre.Cases() {
@@ -98,6 +114,10 @@ func main() {
 		}
 		cfg.Faults = plan
 	}
+	label := fmt.Sprintf("%s/%s/P=%d", *name, *kind, *p)
+	if *trace != "" || *metrics != "" || *phases {
+		cfg.Collector = obs.NewCollector()
+	}
 
 	fmt.Printf("case %s: %d unknowns, P = %d, %s, %s partitioning, machine %s\n",
 		*name, prob.A.Rows, *p, *kind, map[bool]string{false: "general", true: "simple"}[*simple],
@@ -110,12 +130,16 @@ func main() {
 	if err != nil {
 		// Under chaos the contract is converge OR typed error: a deadlock
 		// or crash report is a successful detection, not a tool failure.
+		// The spans and counters recorded up to the failure are still
+		// exported — a trace of a deadlock is exactly what one wants.
 		if chaos && reportFault(err) {
+			writeObs(cfg.Collector, label, *trace, *metrics)
 			return
 		}
 		fmt.Fprintln(os.Stderr, "solvepde:", err)
 		os.Exit(1)
 	}
+	writeObs(cfg.Collector, label, *trace, *metrics)
 	status := "converged"
 	if !res.Converged {
 		status = "NOT converged"
@@ -153,10 +177,19 @@ func main() {
 
 	if *stats {
 		fmt.Println("per-rank breakdown (modeled):")
-		fmt.Printf("  %-5s %-11s %-11s %-10s %-9s %-10s\n", "rank", "compute(s)", "comm(s)", "comm%", "msgs", "Mflops")
+		fmt.Printf("  %-5s %-11s %-11s %-10s %-10s %-9s %-10s\n", "rank", "compute(s)", "comm(s)", "fault(s)", "comm%", "msgs", "Mflops")
 		for _, s := range res.PerRank {
-			fmt.Printf("  %-5d %-11.4f %-11.4f %-10.1f %-9d %-10.1f\n",
-				s.Rank, s.ComputeTime, s.CommTime, 100*s.CommTime/s.Clock, s.MsgsSent, s.Flops/1e6)
+			fmt.Printf("  %-5d %-11.4f %-11.4f %-10.4f %-10.1f %-9d %-10.1f\n",
+				s.Rank, s.ComputeTime, s.CommTime, s.FaultDelay, 100*s.CommTime/s.Clock, s.MsgsSent, s.Flops/1e6)
+		}
+	}
+
+	if *phases && len(res.PhaseBreakdown) > 0 {
+		fmt.Println("per-phase breakdown (modeled, virtual seconds):")
+		fmt.Printf("  %-15s %-8s %-12s %-12s %-12s %-10s\n", "phase", "spans", "total(s)", "max-rank(s)", "Mflops", "KiB")
+		for _, ps := range res.PhaseBreakdown {
+			fmt.Printf("  %-15s %-8d %-12.4f %-12.4f %-12.1f %-10.1f\n",
+				ps.Phase, ps.Count, ps.TotalSeconds, ps.MaxSeconds, ps.Flops/1e6, float64(ps.Bytes)/1024)
 		}
 	}
 
@@ -179,6 +212,29 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("max |x − x_ref| = %.3e (true relative residual %.2e)\n", d, res.TrueRelRes)
+	}
+}
+
+// writeObs exports the recorded observability data to the requested
+// files. Nil collector or empty paths are no-ops.
+func writeObs(col *obs.Collector, label, tracePath, metricsPath string) {
+	if col == nil {
+		return
+	}
+	if tracePath != "" {
+		entry := obs.TraceEntry{Name: label, PID: 0, Collector: col}
+		if err := obs.WriteChromeTraceFile(tracePath, []obs.TraceEntry{entry}, obs.TraceOptions{}); err != nil {
+			fmt.Fprintln(os.Stderr, "solvepde: trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote trace %s (open in chrome://tracing or https://ui.perfetto.dev)\n", tracePath)
+	}
+	if metricsPath != "" {
+		if err := col.WriteMetricsFile(metricsPath, map[string]string{"solve": label}); err != nil {
+			fmt.Fprintln(os.Stderr, "solvepde: metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote metrics %s\n", metricsPath)
 	}
 }
 

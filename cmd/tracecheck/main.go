@@ -1,0 +1,42 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced by
+// solvepde/ippsbench -trace (or any other tool emitting the same format).
+// It exits 0 when every event passes the schema checks of
+// obs.ValidateChromeTrace and 1 with a diagnostic otherwise — CI runs it
+// on a freshly recorded trace so exporter regressions fail the build.
+//
+// Usage:
+//
+//	tracecheck trace.json [more.json ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"parapre/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json> [more.json ...]")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			failed = true
+			continue
+		}
+		if err := obs.ValidateChromeTrace(data); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%s: ok (%d bytes)\n", path, len(data))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

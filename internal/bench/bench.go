@@ -10,24 +10,34 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"time"
 
 	"parapre/internal/cases"
 	"parapre/internal/core"
 	"parapre/internal/dist"
+	"parapre/internal/obs"
 	"parapre/internal/precond"
 )
 
 // Cell is one (preconditioner, P) measurement.
 type Cell struct {
-	Iters     int
-	Time      float64 // modeled seconds (setup + solve) on the virtual machine
-	Wall      float64 // measured wall-clock seconds of the real solve
+	Iters    int
+	Restarts int     // outer-solver restart cycles
+	Time     float64 // modeled seconds (setup + solve) on the virtual machine
+	// Wall is the measured wall-clock seconds of the distributed solve
+	// itself (core.Result.Wall). The clock stops before post-processing
+	// (solution gather, true-residual recomputation), so walls stay
+	// comparable across configurations that differ only there.
+	Wall      float64
 	Converged bool
 	// Note annotates chaos-run outcomes ("deadlock", "crash [1]",
 	// "breakdown", "recovered"); empty for ordinary measurements.
 	Note string
+	// Phases maps phase name → slowest-rank virtual seconds, recorded
+	// only when the experiment attaches an observability collector.
+	Phases map[string]float64
 }
 
 // Row is one line of a paper table: a processor count with one Cell per
@@ -69,6 +79,12 @@ type Experiment struct {
 	Faults    *dist.FaultPlan
 	Watchdog  time.Duration
 	Resilient bool
+
+	// Observe, when non-nil, is called once per solve with a label of the
+	// form "<id>/<precond>/P=<p>" and returns the observability collector
+	// to attach to that solve (nil to skip it). Each solve needs its own
+	// collector; counters and spans are not reset between solves.
+	Observe func(label string) *obs.Collector
 }
 
 // Experiments returns the full set, one per table in the paper (§5), in
@@ -204,6 +220,7 @@ func (e Experiment) runAlgebraic(prob *core.Problem, scheme core.PartitionScheme
 			cfg.Machine = e.Machine()
 			cfg.Scheme = scheme
 			e.applyChaos(&cfg)
+			cfg.Collector = e.observe(fmt.Sprintf("%s/%s/P=%d", e.ID, k, p))
 			start := time.Now()
 			res, err := core.Solve(prob, cfg)
 			if err != nil {
@@ -214,7 +231,7 @@ func (e Experiment) runAlgebraic(prob *core.Problem, scheme core.PartitionScheme
 				row.Cells = append(row.Cells, Cell{Note: note, Wall: time.Since(start).Seconds()})
 				continue
 			}
-			row.Cells = append(row.Cells, newCell(res, start))
+			row.Cells = append(row.Cells, newCell(res))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -239,6 +256,7 @@ func (e Experiment) runSchwarz(prob *core.Problem, size int) (Table, error) {
 			sw := precond.DefaultSchwarz(size, px, py, cgc)
 			cfg.Schwarz = &sw
 			e.applyChaos(&cfg)
+			cfg.Collector = e.observe(fmt.Sprintf("%s/schwarz cgc=%v/P=%d", e.ID, cgc, p))
 			start := time.Now()
 			res, err := core.Solve(prob, cfg)
 			if err != nil {
@@ -249,7 +267,7 @@ func (e Experiment) runSchwarz(prob *core.Problem, size int) (Table, error) {
 				row.Cells = append(row.Cells, Cell{Note: note, Wall: time.Since(start).Seconds()})
 				continue
 			}
-			row.Cells = append(row.Cells, newCell(res, start))
+			row.Cells = append(row.Cells, newCell(res))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -268,15 +286,31 @@ func (e Experiment) applyChaos(cfg *core.Config) {
 	cfg.Resilient = e.Resilient
 }
 
+// observe asks the experiment's Observe hook for the collector of one
+// labeled solve; nil hook (the default) means no observability.
+func (e Experiment) observe(label string) *obs.Collector {
+	if e.Observe == nil {
+		return nil
+	}
+	return e.Observe(label)
+}
+
 // newCell converts one solve result into a table cell, annotating chaos
 // outcomes: a typed solver error becomes "breakdown", a solve saved by
 // the escalation ladder becomes "recovered".
-func newCell(res *core.Result, start time.Time) Cell {
+func newCell(res *core.Result) Cell {
 	c := Cell{
 		Iters:     res.Iterations,
+		Restarts:  res.Restarts,
 		Time:      res.SetupTime + res.SolveTime,
-		Wall:      time.Since(start).Seconds(),
+		Wall:      res.Wall,
 		Converged: res.Converged,
+	}
+	if len(res.PhaseBreakdown) > 0 {
+		c.Phases = make(map[string]float64, len(res.PhaseBreakdown))
+		for _, ps := range res.PhaseBreakdown {
+			c.Phases[ps.Phase] = ps.MaxSeconds
+		}
 	}
 	if res.Err != nil {
 		c.Note = "breakdown"
@@ -336,6 +370,53 @@ func (t Table) WriteMarkdown(w io.Writer) {
 			}
 		}
 		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// WritePhases renders the per-phase virtual-time breakdown of every cell
+// that recorded one (Experiment.Observe set): one line per (P, column)
+// pair, phases sorted by descending slowest-rank seconds. Cells without a
+// breakdown are skipped.
+func (t Table) WritePhases(w io.Writer) {
+	any := false
+	for _, r := range t.Rows {
+		for _, c := range r.Cells {
+			if len(c.Phases) > 0 {
+				any = true
+			}
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintf(w, "%s — per-phase modeled time (slowest rank, seconds)\n", t.Title)
+	for _, r := range t.Rows {
+		for ci, c := range r.Cells {
+			if len(c.Phases) == 0 {
+				continue
+			}
+			name := ""
+			if ci < len(t.Columns) {
+				name = t.Columns[ci]
+			}
+			names := make([]string, 0, len(c.Phases))
+			for ph := range c.Phases {
+				names = append(names, ph)
+			}
+			sort.Slice(names, func(i, j int) bool {
+				//lint:ignore floatcmp exact tie-break for a deterministic sort order, not a numeric test
+				if c.Phases[names[i]] != c.Phases[names[j]] {
+					return c.Phases[names[i]] > c.Phases[names[j]]
+				}
+				return names[i] < names[j]
+			})
+			fmt.Fprintf(w, "  P=%-3d %-16s", r.P, name)
+			for _, ph := range names {
+				fmt.Fprintf(w, " %s=%.4f", ph, c.Phases[ph])
+			}
+			fmt.Fprintln(w)
+		}
 	}
 	fmt.Fprintln(w)
 }

@@ -17,10 +17,14 @@ import (
 type ReportCell struct {
 	Precond   string  `json:"precond"`
 	Iters     int     `json:"iters"`
+	Restarts  int     `json:"restarts,omitempty"`
 	ModelTime float64 `json:"model_time_s"`
 	WallTime  float64 `json:"wall_time_s"`
 	Converged bool    `json:"converged"`
 	Note      string  `json:"note,omitempty"` // chaos outcome annotation
+	// Phases is the phase → slowest-rank virtual seconds breakdown,
+	// present only when the run attached an observability collector.
+	Phases map[string]float64 `json:"phases,omitempty"`
 }
 
 // ReportRow groups the cells of one processor count.
@@ -61,10 +65,12 @@ func NewReport(date string, tables []Table) *Report {
 				rr.Cells = append(rr.Cells, ReportCell{
 					Precond:   name,
 					Iters:     c.Iters,
+					Restarts:  c.Restarts,
 					ModelTime: c.Time,
 					WallTime:  c.Wall,
 					Converged: c.Converged,
 					Note:      c.Note,
+					Phases:    c.Phases,
 				})
 			}
 			rt.Rows = append(rt.Rows, rr)

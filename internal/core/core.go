@@ -18,6 +18,7 @@ import (
 	"parapre/internal/grid"
 	"parapre/internal/ilu"
 	"parapre/internal/krylov"
+	"parapre/internal/obs"
 	"parapre/internal/par"
 	"parapre/internal/partition"
 	"parapre/internal/precond"
@@ -129,6 +130,16 @@ type Config struct {
 	// fallback to an alternative preconditioner; Result.Recovery reports
 	// what happened. Ignored with UseCG.
 	Resilient bool
+
+	// Collector, when non-nil, records structured observability data for
+	// the solve: per-rank spans (communication, SpMV, preconditioner
+	// setup/apply, orthogonalization), phase-attributed flop/byte
+	// counters, fault events, and solve-level counters (iterations,
+	// restarts, breakdowns, recovery steps). The solve then runs under
+	// the supervised runtime; modeled times stay bit-identical to a run
+	// without a collector. Nil (the default) is a no-op costing one
+	// pointer check per instrumented operation.
+	Collector *obs.Collector
 }
 
 // DefaultConfig mirrors the paper's measurement setup (§4.3): FGMRES(20),
@@ -151,14 +162,26 @@ func DefaultConfig(p int, kind precond.Kind) Config {
 // Result reports one solve.
 type Result struct {
 	Iterations int
+	Restarts   int // outer-solver restart cycles after the first
 	Converged  bool
 	Residual   float64 // final relative residual (estimated)
 	SetupTime  float64 // modeled seconds for preconditioner construction
 	SolveTime  float64 // modeled seconds for the preconditioned FGMRES solve
-	PerRank    []dist.Stats
-	X          []float64 // gathered solution (only when Config.KeepX)
-	TrueRelRes float64   // ‖b−Ax‖/‖b‖ recomputed globally (only when KeepX)
-	History    []float64 // residual curve (when Config.Solver.RecordHistory)
+	// Wall is the measured wall-clock seconds of the distributed solve
+	// itself (partitioning through the last rank finishing). It stops
+	// before any post-processing — the KeepX gather and the true-residual
+	// recomputation — so walls are comparable across configurations that
+	// differ only in post-processing.
+	Wall       float64
+	PerRank    []dist.Stats // always sorted by rank
+	X          []float64    // gathered solution (only when Config.KeepX)
+	TrueRelRes float64      // ‖b−Ax‖/‖b‖ recomputed globally (only when KeepX)
+	History    []float64    // residual curve (when Config.Solver.RecordHistory)
+
+	// PhaseBreakdown aggregates the recorded spans by phase — virtual
+	// seconds (total and slowest-rank), span counts, attributed flops and
+	// bytes. Only populated when Config.Collector is set.
+	PhaseBreakdown []obs.PhaseStat
 
 	// Err is the solver-level typed error of a failed solve — a
 	// krylov.BreakdownError (possibly joined with a dsys.ExchangeError
@@ -216,6 +239,7 @@ func Solve(p *Problem, cfg Config) (*Result, error) {
 	if cfg.P < 1 {
 		return nil, fmt.Errorf("core: P = %d", cfg.P)
 	}
+	wallStart := time.Now()
 	if cfg.Solver.Restart == 0 {
 		cfg.Solver = DefaultConfig(cfg.P, cfg.Precond).Solver
 	}
@@ -281,14 +305,16 @@ func Solve(p *Problem, cfg Config) (*Result, error) {
 		// Charge setup heuristically (factor construction ≈ a few solve
 		// sweeps) and synchronize, as all processors finish setup before
 		// iterating.
+		sp := c.BeginSpan(obs.KindPrecondSetup, precondLabel(cfg))
 		c.Compute(setupFlopFactor * setupCost(pc))
+		c.EndSpan(sp)
 		c.Barrier()
 		setupClock[c.Rank()] = c.Stats().Clock
 
 		x := make([]float64, s.NLoc())
 		var prec krylov.Prec
 		if cfg.Precond != precond.KindNone || cfg.Schwarz != nil {
-			prec = func(z, r []float64) { pc.Apply(c, z, r) }
+			prec = wrapApply(c, precondLabel(cfg), pc)
 		}
 		switch {
 		case cfg.UseCG:
@@ -313,8 +339,10 @@ func Solve(p *Problem, cfg Config) (*Result, error) {
 		return nil, runErr
 	}
 	copy(res.PerRank, stats)
+	sortPerRank(res.PerRank)
 	r0 := results[0]
 	res.Iterations = r0.Iterations
+	res.Restarts = r0.Restarts
 	res.Converged = r0.Converged
 	res.History = r0.History
 	res.Err = r0.Err
@@ -333,6 +361,8 @@ func Solve(p *Problem, cfg Config) (*Result, error) {
 	}
 	res.SetupTime = maxSetup
 	res.SolveTime = maxClock - maxSetup
+	res.Wall = time.Since(wallStart).Seconds()
+	recordSolveCounters(cfg, res, r0.Breakdown)
 	if cfg.KeepX {
 		res.X = dsys.Gather(systems, xl)
 		r := append([]float64(nil), p.B...)
@@ -353,11 +383,65 @@ func Solve(p *Problem, cfg Config) (*Result, error) {
 // which case the supervised dist.RunOpts converts deadlocks, crashes and
 // rank panics into typed errors.
 func runWorld(cfg Config, fn func(*dist.Comm)) ([]dist.Stats, error) {
-	if cfg.Faults == nil && cfg.Watchdog == 0 {
+	if cfg.Faults == nil && cfg.Watchdog == 0 && cfg.Collector == nil {
 		return dist.Run(cfg.P, cfg.Machine, fn), nil
 	}
-	opts := dist.WorldOptions{Faults: cfg.Faults, Watchdog: cfg.Watchdog}
+	opts := dist.WorldOptions{Faults: cfg.Faults, Watchdog: cfg.Watchdog, Collector: cfg.Collector}
 	return dist.RunOpts(cfg.P, cfg.Machine, opts, fn)
+}
+
+// precondLabel names the configured preconditioner for span labels.
+func precondLabel(cfg Config) string {
+	if cfg.Schwarz != nil {
+		return "schwarz"
+	}
+	return string(cfg.Precond)
+}
+
+// wrapApply builds the solver-facing preconditioner application, wrapped
+// in an observability span when the rank records one.
+func wrapApply(c *dist.Comm, name string, pc precond.Preconditioner) krylov.Prec {
+	if !c.ObsEnabled() {
+		return func(z, r []float64) { pc.Apply(c, z, r) }
+	}
+	return func(z, r []float64) {
+		h := c.BeginSpan(obs.KindPrecondApply, name)
+		pc.Apply(c, z, r)
+		c.EndSpan(h)
+	}
+}
+
+// sortPerRank pins Result.PerRank to ascending rank order. Run/RunOpts
+// already emit rank-indexed slices, but the result's contract should not
+// depend on how the stats were assembled.
+func sortPerRank(stats []dist.Stats) {
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Rank < stats[j].Rank })
+}
+
+// recordSolveCounters publishes the solve-level counters and the phase
+// breakdown to the configured collector; no-op without one.
+func recordSolveCounters(cfg Config, res *Result, breakdown bool) {
+	col := cfg.Collector
+	if col == nil {
+		return
+	}
+	col.Add("iterations", float64(res.Iterations))
+	col.Add("restarts", float64(res.Restarts))
+	if breakdown {
+		col.Add("breakdowns", 1)
+	}
+	if res.Converged {
+		col.Add("converged", 1)
+	} else {
+		col.Add("converged", 0)
+	}
+	if res.Recovery != nil {
+		col.Add("recovery_steps", float64(len(res.Recovery.Steps)))
+		if res.Recovery.Recovered {
+			col.Add("recoveries", 1)
+		}
+	}
+	res.PhaseBreakdown = col.PhaseBreakdown()
 }
 
 // buildRankPrecond constructs one rank's preconditioner of the given kind

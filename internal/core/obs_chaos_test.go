@@ -1,0 +1,58 @@
+//go:build !paranoid
+
+// The NaN-corrupting fault plan used here trips the paranoid
+// invariants by design (they panic on the very values the typed-error
+// machinery classifies), so this half of the bit-identity contract is
+// gated like the chaos matrix in internal/dist.
+
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"parapre/internal/core"
+	"parapre/internal/dist"
+	"parapre/internal/obs"
+)
+
+// TestCollectorBitIdentityUnderFaults extends the contract to chaos runs:
+// the collector must not shift the deterministic fault stream. A corrupt
+// plan with the resilient ladder produces the same recovery log and
+// residual history with and without an observer.
+func TestCollectorBitIdentityUnderFaults(t *testing.T) {
+	chaos := func(cfg *core.Config) {
+		cfg.Faults = &dist.FaultPlan{Seed: 11, CorruptProb: 0.05}
+		cfg.Resilient = true
+	}
+	ref := solveWithWorkers(t, 1, chaos)
+	for _, w := range []int{1, 3} {
+		got := solveWithWorkers(t, w, func(cfg *core.Config) {
+			chaos(cfg)
+			cfg.Collector = obs.NewCollector()
+		})
+		if got.Iterations != ref.Iterations || got.Converged != ref.Converged {
+			t.Fatalf("w=%d: (%d, %v), want (%d, %v)", w, got.Iterations, got.Converged, ref.Iterations, ref.Converged)
+		}
+		for i := range ref.History {
+			if got.History[i] != ref.History[i] {
+				t.Fatalf("w=%d: History[%d] = %x, want %x", w, i, got.History[i], ref.History[i])
+			}
+		}
+		refSteps, gotSteps := recoverySummary(ref), recoverySummary(got)
+		if refSteps != gotSteps {
+			t.Fatalf("w=%d: recovery log %q, want %q", w, gotSteps, refSteps)
+		}
+	}
+}
+
+func recoverySummary(res *core.Result) string {
+	if res.Recovery == nil {
+		return ""
+	}
+	s := ""
+	for _, st := range res.Recovery.Steps {
+		s += fmt.Sprintf("%s#%d:%d:%v;", st.Stage, st.Attempt, st.Iterations, st.Converged)
+	}
+	return s
+}

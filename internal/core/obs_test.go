@@ -1,0 +1,131 @@
+package core_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parapre/internal/cases"
+	"parapre/internal/core"
+	"parapre/internal/obs"
+	"parapre/internal/par"
+	"parapre/internal/precond"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden observability files")
+
+// TestCollectorBitIdentity is the disabled-observer half of the tracing
+// contract: attaching a collector must not change a single modeled bit.
+// Iteration counts, residual histories, solutions, and per-rank virtual
+// clocks are compared bit-for-bit between a plain solve and an observed
+// solve at several worker counts.
+func TestCollectorBitIdentity(t *testing.T) {
+	ref := solveWithWorkers(t, 1, nil)
+	for _, w := range []int{1, 3, 8} {
+		col := obs.NewCollector()
+		got := solveWithWorkers(t, w, func(cfg *core.Config) { cfg.Collector = col })
+		if got.Iterations != ref.Iterations {
+			t.Fatalf("w=%d: %d iterations, want %d", w, got.Iterations, ref.Iterations)
+		}
+		for i := range ref.History {
+			if got.History[i] != ref.History[i] {
+				t.Fatalf("w=%d: History[%d] = %x, want %x", w, i, got.History[i], ref.History[i])
+			}
+		}
+		for i := range ref.X {
+			if got.X[i] != ref.X[i] {
+				t.Fatalf("w=%d: X[%d] = %x, want %x", w, i, got.X[i], ref.X[i])
+			}
+		}
+		if len(got.PerRank) != len(ref.PerRank) {
+			t.Fatalf("w=%d: %d ranks, want %d", w, len(got.PerRank), len(ref.PerRank))
+		}
+		for r := range ref.PerRank {
+			if got.PerRank[r].Clock != ref.PerRank[r].Clock {
+				t.Fatalf("w=%d: rank %d clock %x, want %x", w, r, got.PerRank[r].Clock, ref.PerRank[r].Clock)
+			}
+		}
+		if len(col.Events()) == 0 {
+			t.Fatalf("w=%d: observed solve recorded no events", w)
+		}
+	}
+}
+
+// TestGoldenChromeTrace pins the full tracing pipeline — span placement,
+// virtual-clock attribution, exporter formatting — to a golden file: a
+// fixed-seed 4-rank Poisson solve must reproduce the trace byte-for-byte
+// (wall-clock fields stripped). Regenerate with -update-golden after an
+// intentional instrumentation change and review the diff.
+func TestGoldenChromeTrace(t *testing.T) {
+	prev := par.SetWorkers(2)
+	defer par.SetWorkers(prev)
+	c, err := cases.ByName("tc1-poisson2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := c.Build(9)
+	cfg := core.DefaultConfig(4, precond.KindBlock2)
+	cfg.Collector = obs.NewCollector()
+	if _, err := core.Solve(prob, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	entry := obs.TraceEntry{Name: "tc1-poisson2d/Block 2/P=4", PID: 0, Collector: cfg.Collector}
+	if err := obs.WriteChromeTrace(&buf, []obs.TraceEntry{entry}, obs.TraceOptions{OmitWall: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("golden trace fails validation: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "trace_tc1_p4.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace diverges from golden %s (%d vs %d bytes); run with -update-golden if intentional",
+			golden, buf.Len(), len(want))
+	}
+}
+
+// Benchmarks for the ≤2% disabled-path overhead budget: the nil-collector
+// solve exercises every instrumented hot path (SpMV, exchange, FGMRES,
+// preconditioner apply) with tracing off; the observed variant measures
+// the recording cost.
+//
+//	go test ./internal/core/ -bench Solve -benchmem
+func benchSolve(b *testing.B, col func() *obs.Collector) {
+	c, err := cases.ByName("tc1-poisson2d")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prob := c.Build(33)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig(4, precond.KindBlock2)
+		cfg.Collector = col()
+		if _, err := core.Solve(prob, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveNoCollector(b *testing.B) {
+	benchSolve(b, func() *obs.Collector { return nil })
+}
+
+func BenchmarkSolveObserved(b *testing.B) {
+	benchSolve(b, obs.NewCollector)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"parapre/internal/dist"
 	"parapre/internal/dsys"
@@ -56,7 +57,7 @@ func NewSession(p *Problem, cfg Config) (*Session, error) {
 			s.pcs[r] = sw
 		}
 	case cfg.OverlapLevels > 0 && (cfg.Precond == precond.KindBlock1 || cfg.Precond == precond.KindBlock2):
-		obs, err := precond.BuildOverlapBlocks(p.A, s.part, s.systems, precond.OverlapOptions{
+		blocks, err := precond.BuildOverlapBlocks(p.A, s.part, s.systems, precond.OverlapOptions{
 			Levels:  cfg.OverlapLevels,
 			UseILU0: cfg.Precond == precond.KindBlock1,
 			ILUT:    cfg.ILUT,
@@ -64,7 +65,7 @@ func NewSession(p *Problem, cfg Config) (*Session, error) {
 		if err != nil {
 			return nil, err
 		}
-		for r, ob := range obs {
+		for r, ob := range blocks {
 			s.pcs[r] = ob
 		}
 	default:
@@ -116,6 +117,7 @@ func (s *Session) Solve(b []float64) (*Result, error) {
 	if len(b) != s.prob.A.Rows {
 		return nil, fmt.Errorf("core: rhs length %d, want %d", len(b), s.prob.A.Rows)
 	}
+	wallStart := time.Now()
 	bl := dsys.Scatter(s.systems, b)
 
 	results := make([]krylov.Result, s.cfg.P)
@@ -127,7 +129,7 @@ func (s *Session) Solve(b []float64) (*Result, error) {
 		x := make([]float64, sys.NLoc())
 		var prec krylov.Prec
 		if s.cfg.Precond != precond.KindNone || s.cfg.Schwarz != nil {
-			prec = func(z, r []float64) { pc.Apply(c, z, r) }
+			prec = wrapApply(c, precondLabel(s.cfg), pc)
 		}
 		switch {
 		case s.cfg.UseCG:
@@ -145,8 +147,10 @@ func (s *Session) Solve(b []float64) (*Result, error) {
 	}
 
 	res := &Result{PerRank: stats, SetupTime: s.setupTime}
+	sortPerRank(res.PerRank)
 	r0 := results[0]
 	res.Iterations = r0.Iterations
+	res.Restarts = r0.Restarts
 	res.Converged = r0.Converged
 	res.History = r0.History
 	res.Err = r0.Err
@@ -154,7 +158,13 @@ func (s *Session) Solve(b []float64) (*Result, error) {
 	if r0.Initial > 0 {
 		res.Residual = r0.Final / r0.Initial
 	}
-	res.SolveTime = dist.MaxClock(stats)
+	solveClock, cerr := dist.MaxClockErr(stats)
+	if cerr != nil {
+		return nil, fmt.Errorf("core: %w", cerr)
+	}
+	res.SolveTime = solveClock
+	res.Wall = time.Since(wallStart).Seconds()
+	recordSolveCounters(s.cfg, res, r0.Breakdown)
 	if s.cfg.KeepX {
 		res.X = dsys.Gather(s.systems, xl)
 		rr := append([]float64(nil), b...)

@@ -1,6 +1,10 @@
 package dist
 
-import "sync"
+import (
+	"sync"
+
+	"parapre/internal/obs"
+)
 
 // reducer is a reusable combining barrier. All ranks must call the same
 // collectives in the same order (the usual MPI contract). Each rank's
@@ -95,25 +99,38 @@ func (c *Comm) AllReduceSum(x float64) float64 {
 // results are deterministic.
 func (c *Comm) AllReduceSumVec(x []float64) []float64 {
 	c.beginOp("allreduce", -1, -1)
+	sp := c.beginCollective(obs.KindAllReduce, 8*len(x))
 	out, maxT := c.w.red.reduce(c.rank, x, c.clock, func(acc, in []float64) {
 		for i := range acc {
 			acc[i] += in[i]
 		}
 	})
 	c.syncClock(maxT, 8*len(x))
+	sp.End(c.clock)
 	c.endOp()
 	return out
+}
+
+// beginCollective opens the observability span of one collective (no-op
+// with tracing off).
+func (c *Comm) beginCollective(kind string, bytes int) obs.Span {
+	if c.rec == nil {
+		return obs.Span{}
+	}
+	return c.rec.BeginComm(kind, -1, -1, bytes, c.clock)
 }
 
 // AllReduceMax returns the maximum of x across ranks.
 func (c *Comm) AllReduceMax(x float64) float64 {
 	c.beginOp("allreduce", -1, -1)
+	sp := c.beginCollective(obs.KindAllReduce, 8)
 	out, maxT := c.w.red.reduce(c.rank, []float64{x}, c.clock, func(acc, in []float64) {
 		if in[0] > acc[0] {
 			acc[0] = in[0]
 		}
 	})
 	c.syncClock(maxT, 8)
+	sp.End(c.clock)
 	c.endOp()
 	return out[0]
 }
@@ -121,12 +138,14 @@ func (c *Comm) AllReduceMax(x float64) float64 {
 // AllReduceMin returns the minimum of x across ranks.
 func (c *Comm) AllReduceMin(x float64) float64 {
 	c.beginOp("allreduce", -1, -1)
+	sp := c.beginCollective(obs.KindAllReduce, 8)
 	out, maxT := c.w.red.reduce(c.rank, []float64{x}, c.clock, func(acc, in []float64) {
 		if in[0] < acc[0] {
 			acc[0] = in[0]
 		}
 	})
 	c.syncClock(maxT, 8)
+	sp.End(c.clock)
 	c.endOp()
 	return out[0]
 }
@@ -134,8 +153,10 @@ func (c *Comm) AllReduceMin(x float64) float64 {
 // Barrier synchronizes all ranks (and their virtual clocks).
 func (c *Comm) Barrier() {
 	c.beginOp("barrier", -1, -1)
+	sp := c.beginCollective(obs.KindBarrier, 0)
 	_, maxT := c.w.red.reduce(c.rank, nil, c.clock, func(acc, in []float64) {})
 	c.syncClock(maxT, 0)
+	sp.End(c.clock)
 	c.endOp()
 }
 
@@ -153,12 +174,14 @@ func (c *Comm) AllGather(x []float64, counts []int) []float64 {
 	}
 	buf := make([]float64, total)
 	copy(buf[offs[c.rank]:], x)
+	sp := c.beginCollective(obs.KindAllGather, 8*total)
 	out, maxT := c.w.red.reduce(c.rank, buf, c.clock, func(acc, in []float64) {
 		for i := range acc {
 			acc[i] += in[i]
 		}
 	})
 	c.syncClock(maxT, 8*total)
+	sp.End(c.clock)
 	c.endOp()
 	return out
 }

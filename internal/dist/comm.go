@@ -5,14 +5,19 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"parapre/internal/obs"
 )
 
 // message is one point-to-point payload with the sender's virtual
-// timestamp.
+// timestamp. fdelay is the portion of the timestamp that is injected
+// fault jitter rather than modeled communication, so the receiver can
+// book its wait in the right Stats bucket.
 type message struct {
-	tag  int
-	data []float64
-	time float64
+	tag    int
+	data   []float64
+	time   float64
+	fdelay float64
 }
 
 // DefaultBufferDepth is the per-ordered-pair channel capacity of a world
@@ -45,6 +50,14 @@ type WorldOptions struct {
 	// diagnostics. 0 disables the watchdog (RunOpts applies
 	// DefaultWatchdogBudget when a fault plan is set).
 	Watchdog time.Duration
+
+	// Collector, when non-nil, records per-rank spans (sends, receives,
+	// collectives, and the solver-level phases hooked in through
+	// Comm.BeginSpan) and counters into the given observability
+	// collector. A nil collector leaves every operation on the
+	// single-pointer-check fast path and all modeled times bit-identical
+	// to an unobserved world.
+	Collector *obs.Collector
 }
 
 // World couples P rank goroutines to one machine model. Create it with
@@ -190,11 +203,15 @@ type Comm struct {
 
 	clock       float64 // virtual seconds since Run started
 	computeTime float64 // portion of clock spent in Compute
+	faultDelay  float64 // portion of clock that is injected fault stall
 	flops       float64
 	msgsSent    int
 	bytesSent   int
 
 	faults *rankFaults // nil when the world has no fault plan
+
+	rec   *obs.RankRecorder // nil when the world has no collector
+	phase string            // innermost open span kind (flop/byte attribution)
 }
 
 // Comm returns the handle of rank r.
@@ -206,7 +223,52 @@ func (w *World) Comm(r int) *Comm {
 	if w.opts.Faults != nil {
 		c.faults = newRankFaults(w.opts.Faults, r)
 	}
+	c.rec = w.opts.Collector.Rank(r) // nil-safe: nil collector ⇒ nil recorder
 	return c
+}
+
+// ObsEnabled reports whether this rank records observability data.
+func (c *Comm) ObsEnabled() bool { return c.rec != nil }
+
+// ObsCount increments a per-rank observability counter (no-op when
+// tracing is off).
+func (c *Comm) ObsCount(name string, v float64) {
+	if c.rec != nil {
+		c.rec.Count(name, v)
+	}
+}
+
+// SpanHandle is an open observability span on this rank, created by
+// BeginSpan and closed by EndSpan. The zero handle (tracing off) is
+// inert.
+type SpanHandle struct {
+	span      obs.Span
+	prevPhase string
+}
+
+// BeginSpan opens a span of the given kind (see the obs.Kind* constants)
+// at the rank's current virtual clock and makes kind the phase to which
+// Compute flops and Send bytes are attributed until the matching
+// EndSpan. Spans nest; the innermost phase wins attribution. name is an
+// optional label shown in trace viewers. With tracing off this is a
+// single pointer check.
+func (c *Comm) BeginSpan(kind, name string) SpanHandle {
+	if c.rec == nil {
+		return SpanHandle{}
+	}
+	h := SpanHandle{span: c.rec.Begin(kind, name, c.clock), prevPhase: c.phase}
+	c.phase = kind
+	return h
+}
+
+// EndSpan closes a span opened with BeginSpan at the current virtual
+// clock and restores the enclosing phase.
+func (c *Comm) EndSpan(h SpanHandle) {
+	if c.rec == nil {
+		return
+	}
+	h.span.End(c.clock)
+	c.phase = h.prevPhase
 }
 
 // Rank returns this process's rank in [0, P).
@@ -254,16 +316,27 @@ func (c *Comm) endOp() {
 
 // Compute charges the virtual clock for flops floating-point operations
 // of local work. Solver kernels call this with their operation counts.
-// A straggler fault plan multiplies the charged time.
+// A straggler fault plan stretches the wait on the clock, but the
+// stretch is booked as Stats.FaultDelay, not ComputeTime: the modeled
+// cost of the work itself is machine-determined and must not change
+// under chaos.
 func (c *Comm) Compute(flops float64) {
 	c.beginOp("compute", -1, -1)
 	t := c.w.Machine.computeTime(flops)
 	if c.faults != nil && c.faults.straggle > 1 {
-		t *= c.faults.straggle
+		extra := t * (c.faults.straggle - 1)
+		c.clock += extra
+		c.faultDelay += extra
+		if c.rec != nil {
+			c.rec.Count("fault_straggle_seconds", extra)
+		}
 	}
 	c.clock += t
 	c.computeTime += t
 	c.flops += flops
+	if c.rec != nil {
+		c.rec.CountPhase("flops", c.phase, flops)
+	}
 	c.endOp()
 }
 
@@ -275,6 +348,11 @@ func (c *Comm) Compute(flops float64) {
 // full (WorldOptions.BufferDepth outstanding messages per ordered pair).
 func (c *Comm) Send(to, tag int, data []float64) {
 	c.beginOp("send", to, tag)
+	var sp obs.Span
+	if c.rec != nil {
+		sp = c.rec.BeginComm(obs.KindSend, to, tag, 8*len(data), c.clock)
+		c.rec.CountPhase("bytes", c.phase, float64(8*len(data)))
+	}
 	buf := append([]float64(nil), data...)
 	c.msgsSent++
 	c.bytesSent += 8 * len(buf)
@@ -283,9 +361,22 @@ func (c *Comm) Send(to, tag int, data []float64) {
 	c.clock += c.w.Machine.Latency
 	m := message{tag: tag, data: buf, time: c.clock}
 	if c.faults != nil {
-		delay, dropped := c.faults.sendFaults(buf)
+		delay, dropped, corrupted := c.faults.sendFaults(buf)
 		m.time += delay
+		m.fdelay = delay
+		if c.rec != nil {
+			if delay > 0 {
+				c.rec.Count("fault_delays", 1)
+			}
+			if corrupted {
+				c.rec.Count("fault_corruptions", 1)
+			}
+			if dropped {
+				c.rec.Count("fault_drops", 1)
+			}
+		}
 		if dropped {
+			sp.End(c.clock)
 			c.endOp()
 			return // the network ate it; the stats above still count the send
 		}
@@ -304,6 +395,7 @@ func (c *Comm) Send(to, tag int, data []float64) {
 		case <-c.w.crashedCh[to]:
 		}
 	}
+	sp.End(c.clock)
 	c.endOp()
 }
 
@@ -325,6 +417,10 @@ func (c *Comm) Recv(from, tag int) []float64 {
 // no message left in flight yields a *PeerCrashedError.
 func (c *Comm) RecvErr(from, tag int) ([]float64, error) {
 	c.beginOp("recv", from, tag)
+	var sp obs.Span
+	if c.rec != nil {
+		sp = c.rec.BeginComm(obs.KindRecv, from, tag, 0, c.clock)
+	}
 	ch := c.w.chans[from*c.w.P+c.rank]
 	var m message
 	select {
@@ -341,29 +437,47 @@ func (c *Comm) RecvErr(from, tag int) ([]float64, error) {
 			select {
 			case m = <-ch:
 			default:
+				sp.End(c.clock)
 				c.endOp()
 				return nil, &PeerCrashedError{Rank: c.rank, Peer: from, Tag: tag}
 			}
 		}
 	}
 	if m.tag != tag {
+		sp.End(c.clock)
 		c.endOp()
 		return nil, &TagMismatchError{Rank: c.rank, Peer: from, Want: tag, Got: m.tag}
 	}
 	if m.time > c.clock {
+		// The receiver idles until the message's stamped arrival. The
+		// part of that wait caused by injected delay jitter is fault
+		// stall, not modeled communication: book it separately so chaos
+		// runs do not inflate the comm fraction.
+		wait := m.time - c.clock
+		if m.fdelay > 0 {
+			d := m.fdelay
+			if d > wait {
+				d = wait
+			}
+			c.faultDelay += d
+		}
 		c.clock = m.time
 	}
 	c.clock += c.w.Machine.messageTime(8 * len(m.data))
+	sp.End(c.clock)
 	c.endOp()
 	return m.data, nil
 }
 
-// Stats reports this rank's accounting so far.
+// Stats reports this rank's accounting so far. The three buckets
+// partition the clock exactly: Clock = ComputeTime + CommTime +
+// FaultDelay.
 type Stats struct {
 	Rank        int
 	Clock       float64 // total virtual seconds
-	ComputeTime float64 // virtual seconds of local work
-	CommTime    float64 // Clock − ComputeTime
+	ComputeTime float64 // virtual seconds of local work (unstretched by fault plans)
+	CommTime    float64 // Clock − ComputeTime − FaultDelay: modeled communication and wait
+	FaultDelay  float64 // injected chaos stall: delay jitter waits and straggler stretch
 	Flops       float64
 	MsgsSent    int
 	BytesSent   int
@@ -375,7 +489,8 @@ func (c *Comm) Stats() Stats {
 		Rank:        c.rank,
 		Clock:       c.clock,
 		ComputeTime: c.computeTime,
-		CommTime:    c.clock - c.computeTime,
+		CommTime:    c.clock - c.computeTime - c.faultDelay,
+		FaultDelay:  c.faultDelay,
 		Flops:       c.flops,
 		MsgsSent:    c.msgsSent,
 		BytesSent:   c.bytesSent,
@@ -383,7 +498,10 @@ func (c *Comm) Stats() Stats {
 }
 
 // MaxClock returns the slowest rank's virtual time — the modeled
-// wall-clock time of the parallel run.
+// wall-clock time of the parallel run. An empty slice yields 0 (there is
+// nothing to time); callers that must distinguish "no ranks" from "zero
+// time", or that cannot vouch for the slice's integrity, use
+// MaxClockErr.
 func MaxClock(stats []Stats) float64 {
 	var m float64
 	for _, s := range stats {
@@ -392,4 +510,21 @@ func MaxClock(stats []Stats) float64 {
 		}
 	}
 	return m
+}
+
+// MaxClockErr is the checked variant of MaxClock: it rejects an empty
+// slice and a slice whose entries are not exactly ranks 0..len-1 in
+// order (the shape every Run/RunOpts result has), so silent
+// zero-time results and duplicated or misassembled per-rank stats
+// surface as errors instead of poisoned timings.
+func MaxClockErr(stats []Stats) (float64, error) {
+	if len(stats) == 0 {
+		return 0, fmt.Errorf("dist: MaxClock of empty stats slice")
+	}
+	for i, s := range stats {
+		if s.Rank != i {
+			return 0, fmt.Errorf("dist: stats[%d] carries rank %d, want %d (misassembled per-rank stats)", i, s.Rank, i)
+		}
+	}
+	return MaxClock(stats), nil
 }

@@ -118,15 +118,17 @@ func (f *rankFaults) step(rank int) {
 // sendFaults draws this message's injection decisions. The draw count per
 // call is fixed (three uniforms, plus conditional draws whose conditions
 // are themselves deterministic), so the stream stays aligned across runs.
-// It returns the extra virtual delay and whether the message is dropped;
-// corruption mutates buf in place.
-func (f *rankFaults) sendFaults(buf []float64) (delay float64, dropped bool) {
+// It returns the extra virtual delay, whether the message is dropped, and
+// whether the payload was corrupted (mutated in place) — the last two so
+// the observability layer can count fault events without extra draws.
+func (f *rankFaults) sendFaults(buf []float64) (delay float64, dropped, corrupted bool) {
 	p := f.plan
 	dropU, delayU, corrU := f.rng.Float64(), f.rng.Float64(), f.rng.Float64()
 	if p.DelayProb > 0 && delayU < p.DelayProb {
 		delay = f.rng.Float64() * p.DelayMax
 	}
 	if p.CorruptProb > 0 && corrU < p.CorruptProb && len(buf) > 0 {
+		corrupted = true
 		i := f.rng.Intn(len(buf))
 		if f.rng.Float64() < 0.5 {
 			buf[i] = math.NaN()
@@ -136,5 +138,5 @@ func (f *rankFaults) sendFaults(buf []float64) (delay float64, dropped bool) {
 		}
 	}
 	dropped = p.DropProb > 0 && dropU < p.DropProb
-	return delay, dropped
+	return delay, dropped, corrupted
 }

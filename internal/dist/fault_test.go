@@ -85,7 +85,9 @@ func TestDelayFaultSlowsReceivers(t *testing.T) {
 	}
 }
 
-// Straggler plans multiply compute time on the designated ranks only.
+// Straggler plans slow the designated ranks only. The stall is booked in
+// the FaultDelay bucket — ComputeTime stays the machine-determined value,
+// so a straggler's Clock still partitions as Compute + Comm + FaultDelay.
 func TestStragglerFaultSlowsDesignatedRank(t *testing.T) {
 	m := testMachine()
 	plan := &FaultPlan{Seed: 1, StragglerEvery: 2, StragglerFactor: 8}
@@ -96,12 +98,26 @@ func TestStragglerFaultSlowsDesignatedRank(t *testing.T) {
 		t.Fatalf("RunOpts: %v", err)
 	}
 	// Ranks 1 and 3 are stragglers ((r+1)%2 == 0); 0 and 2 are not.
-	if stats[1].ComputeTime <= stats[0].ComputeTime {
-		t.Errorf("straggler rank 1 not slowed: %g vs %g", stats[1].ComputeTime, stats[0].ComputeTime)
+	// ComputeTime is the unstretched cost everywhere; the stretch shows up
+	// as injected delay on the straggler's clock.
+	if stats[1].ComputeTime != stats[0].ComputeTime {
+		t.Errorf("straggler stall booked as compute: %g vs %g", stats[1].ComputeTime, stats[0].ComputeTime)
 	}
-	want := stats[0].ComputeTime * plan.StragglerFactor
-	if diff := stats[1].ComputeTime - want; diff > 1e-15 || diff < -1e-15 {
-		t.Errorf("straggler factor not applied exactly: got %g want %g", stats[1].ComputeTime, want)
+	if stats[0].FaultDelay != 0 {
+		t.Errorf("non-straggler rank 0 has fault delay %g", stats[0].FaultDelay)
+	}
+	want := stats[0].ComputeTime * (plan.StragglerFactor - 1)
+	if diff := stats[1].FaultDelay - want; diff > 1e-15 || diff < -1e-15 {
+		t.Errorf("straggler factor not applied exactly: FaultDelay %g want %g", stats[1].FaultDelay, want)
+	}
+	if stats[1].Clock <= stats[0].Clock {
+		t.Errorf("straggler rank 1 not slowed: clock %g vs %g", stats[1].Clock, stats[0].Clock)
+	}
+	for _, s := range stats {
+		sum := s.ComputeTime + s.CommTime + s.FaultDelay
+		if diff := s.Clock - sum; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("rank %d: Clock %g != Compute+Comm+FaultDelay %g", s.Rank, s.Clock, sum)
+		}
 	}
 }
 

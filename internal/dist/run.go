@@ -79,6 +79,7 @@ func RunOpts(p int, m *Machine, opts WorldOptions, fn func(c *Comm)) ([]Stats, e
 					crashed = append(crashed, v.rank)
 					mu.Unlock()
 					w.markCrashed(v.rank)
+					w.opts.Collector.Add("fault_crashes", 1) // nil-safe
 				case abortPanic:
 					// World aborted elsewhere; unwind quietly.
 				case *PeerCrashedError, *TagMismatchError:
@@ -165,6 +166,7 @@ func (w *World) watchdog(budget time.Duration, stop chan struct{}) {
 			return
 		}
 		if time.Since(lastChange) >= budget {
+			w.opts.Collector.Add("deadlocks", 1) // nil-safe
 			w.abort(&DeadlockError{Budget: budget, Ranks: w.snapshot()})
 			return
 		}

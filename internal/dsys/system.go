@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"parapre/internal/dist"
+	"parapre/internal/obs"
 	"parapre/internal/par"
 	"parapre/internal/paranoid"
 	"parapre/internal/sparse"
@@ -283,6 +284,8 @@ func (e *ExchangeError) Unwrap() error { return e.Err }
 // ExchangeErr.
 func (s *System) Exchange(c *dist.Comm, ext []float64) {
 	paranoid.CheckLen("dsys: Exchange ext", len(ext), s.NLoc()+s.NExt())
+	sp := c.BeginSpan(obs.KindExchange, "")
+	defer c.EndSpan(sp)
 	s.sendInterface(c, ext)
 	for _, nb := range s.Neigh {
 		if nb.RecvLen == 0 {
@@ -305,6 +308,8 @@ func (s *System) ExchangeErr(c *dist.Comm, ext []float64) error {
 		return &ExchangeError{Rank: s.Rank, Peer: -1,
 			Reason: fmt.Sprintf("ext buffer length %d, want %d", len(ext), s.NLoc()+s.NExt())}
 	}
+	sp := c.BeginSpan(obs.KindExchange, "")
+	defer c.EndSpan(sp)
 	s.sendInterface(c, ext)
 	// Every neighbor receive is drained even after a failure: returning
 	// early would strand the remaining in-flight blocks in their channels,
@@ -371,6 +376,8 @@ func (s *System) sendInterface(c *dist.Comm, ext []float64) {
 func (s *System) MatVec(c *dist.Comm, y, x, ext []float64) {
 	paranoid.CheckMinLen("dsys: MatVec x", len(x), s.NLoc())
 	paranoid.CheckMinLen("dsys: MatVec y", len(y), s.NLoc())
+	sp := c.BeginSpan(obs.KindSpMV, "")
+	defer c.EndSpan(sp)
 	copy(ext, x)
 	s.Exchange(c, ext)
 	s.A.MulVecTo(y, ext)
@@ -385,6 +392,8 @@ func (s *System) MatVec(c *dist.Comm, y, x, ext []float64) {
 func (s *System) MatVecErr(c *dist.Comm, y, x, ext []float64) error {
 	paranoid.CheckMinLen("dsys: MatVec x", len(x), s.NLoc())
 	paranoid.CheckMinLen("dsys: MatVec y", len(y), s.NLoc())
+	sp := c.BeginSpan(obs.KindSpMV, "")
+	defer c.EndSpan(sp)
 	copy(ext, x)
 	if err := s.ExchangeErr(c, ext); err != nil {
 		return err

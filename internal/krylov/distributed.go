@@ -76,7 +76,21 @@ func Distributed(c *dist.Comm, s *dsys.System, precond Prec, b, x []float64, opt
 	if opt.Compute == nil {
 		opt.Compute = c.Compute
 	}
+	wireSpans(c, &opt)
 	return d.attach(GMRES(s.NLoc(), matvec, precond, dot, b, x, opt))
+}
+
+// wireSpans connects the solver's span hook to the rank's observability
+// recorder. A single check when tracing is off; an explicit opt.Span set
+// by the caller wins.
+func wireSpans(c *dist.Comm, opt *Options) {
+	if opt.Span != nil || !c.ObsEnabled() {
+		return
+	}
+	opt.Span = func(kind, name string) func() {
+		h := c.BeginSpan(kind, name)
+		return func() { c.EndSpan(h) }
+	}
 }
 
 // DistributedCG runs preconditioned CG on the distributed system, used by
@@ -87,5 +101,6 @@ func DistributedCG(c *dist.Comm, s *dsys.System, precond Prec, b, x []float64, o
 	if opt.Compute == nil {
 		opt.Compute = c.Compute
 	}
+	wireSpans(c, &opt)
 	return d.attach(CG(s.NLoc(), matvec, precond, dot, b, x, opt))
 }

@@ -16,6 +16,7 @@ package krylov
 import (
 	"math"
 
+	"parapre/internal/obs"
 	"parapre/internal/paranoid"
 	"parapre/internal/sparse"
 )
@@ -46,6 +47,12 @@ type Options struct {
 	// after every iteration in Result.History — the paper's Diffpack
 	// "convergence monitors".
 	RecordHistory bool
+
+	// Span, when non-nil, opens an observability span of the given kind
+	// (an obs.Kind* constant) and returns its closer. The distributed
+	// driver wires this to the rank's dist.Comm span hooks; nil means
+	// tracing is off and costs a single comparison per use.
+	Span func(kind, name string) func()
 }
 
 // DefaultOptions mirrors the paper's solver configuration (§4.3):
@@ -57,6 +64,7 @@ func DefaultOptions() Options {
 // Result reports the outcome of a solve.
 type Result struct {
 	Iterations int       // matrix-vector products performed
+	Restarts   int       // restart cycles begun after the first (GMRES only)
 	Converged  bool      // reached Tol before MaxIters
 	Initial    float64   // initial residual norm
 	Final      float64   // final (estimated) residual norm
@@ -76,6 +84,17 @@ func (o *Options) charge(flops float64) {
 		o.Compute(flops)
 	}
 }
+
+// span opens an observability span through the injected hook; with
+// tracing off it returns a shared no-op closer without allocating.
+func (o *Options) span(kind, name string) func() {
+	if o.Span == nil {
+		return noopSpanEnd
+	}
+	return o.Span(kind, name)
+}
+
+func noopSpanEnd() {}
 
 // GMRES solves A·x = b with restarted, right-preconditioned GMRES(m)
 // (or FGMRES(m) if opt.Flexible). x holds the initial guess on entry and
@@ -128,6 +147,9 @@ func GMRES(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options)
 	var ref float64
 
 	for {
+		if totalIters > 0 {
+			res.Restarts++
+		}
 		// r = b − A·x.
 		matvec(r, x)
 		for i := range r {
@@ -191,6 +213,7 @@ func GMRES(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options)
 			totalIters++
 
 			// Modified Gram–Schmidt.
+			endOrth := opt.span(obs.KindOrth, "")
 			for i := 0; i <= j; i++ {
 				h := dot(w, V[i])
 				paranoid.CheckFinite("krylov: Gram-Schmidt coefficient", h)
@@ -199,6 +222,7 @@ func GMRES(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options)
 				opt.charge(2 * nf)
 			}
 			hn := norm(w)
+			endOrth()
 			if !finite(hn) {
 				// A NaN anywhere in the new basis vector (poisoned operator
 				// or preconditioner) surfaces here; the current iterate is

@@ -1,8 +1,11 @@
 package krylov
 
 import (
+	"fmt"
+
 	"parapre/internal/dist"
 	"parapre/internal/dsys"
+	"parapre/internal/obs"
 )
 
 // Stage is one rung of the ResilientSolve escalation ladder: a named
@@ -67,7 +70,18 @@ func ResilientSolve(c *dist.Comm, s *dsys.System, stages []Stage, b, x []float64
 				}
 			}
 			first = false
+			var sp dist.SpanHandle
+			if c.ObsEnabled() {
+				sp = c.BeginSpan(obs.KindAttempt, fmt.Sprintf("%s#%d", st.Name, attempt))
+			}
 			res = Distributed(c, s, prec, b, x, opt)
+			if c.ObsEnabled() {
+				c.EndSpan(sp)
+				c.ObsCount("recovery_attempts", 1)
+				if res.Err != nil {
+					c.ObsCount("recovery_attempt_failures", 1)
+				}
+			}
 			log.Steps = append(log.Steps, RecoveryStep{
 				Stage:      st.Name,
 				Attempt:    attempt,

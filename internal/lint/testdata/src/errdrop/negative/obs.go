@@ -1,0 +1,38 @@
+package negative
+
+import "io"
+
+// Handled uses of the observability exporter API shapes: errdrop must
+// stay silent on all of these.
+
+type collector struct{}
+
+func (*collector) WriteMetrics(w io.Writer, labels map[string]string) error { return nil }
+func (*collector) WriteMetricsFile(path string, labels map[string]string) error {
+	return nil
+}
+
+type traceEntry struct{}
+type traceOptions struct{}
+
+func writeChromeTrace(w io.Writer, entries []traceEntry, opts traceOptions) error { return nil }
+func validateChromeTrace(data []byte) error                                       { return nil }
+
+// Export propagates the first exporter failure.
+func Export(col *collector, w io.Writer, entries []traceEntry) error {
+	if err := writeChromeTrace(w, entries, traceOptions{}); err != nil {
+		return err
+	}
+	return col.WriteMetrics(w, nil)
+}
+
+// BestEffort explicitly discards a metrics snapshot written purely for
+// humans — the deliberate-discard idiom the analyzer accepts.
+func BestEffort(col *collector) {
+	_ = col.WriteMetricsFile("metrics.prom", nil)
+}
+
+// Check returns the validation verdict to the caller.
+func Check(data []byte) error {
+	return validateChromeTrace(data)
+}

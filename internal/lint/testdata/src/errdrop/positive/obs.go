@@ -1,0 +1,38 @@
+package positive
+
+import "io"
+
+// The shapes of the observability exporter APIs (obs.WriteChromeTrace,
+// Collector.WriteMetrics, their *File variants, ValidateChromeTrace):
+// dropping their error silently produces a truncated or missing trace,
+// which CI's tracecheck step exists to prevent.
+
+type collector struct{}
+
+func (*collector) WriteMetrics(w io.Writer, labels map[string]string) error { return nil }
+func (*collector) WriteMetricsFile(path string, labels map[string]string) error {
+	return nil
+}
+
+type traceEntry struct{}
+type traceOptions struct{}
+
+func writeChromeTrace(w io.Writer, entries []traceEntry, opts traceOptions) error { return nil }
+func writeChromeTraceFile(path string, entries []traceEntry, opts traceOptions) error {
+	return nil
+}
+func validateChromeTrace(data []byte) error { return nil }
+
+// Export drops every exporter error: a half-written trace file looks
+// like success.
+func Export(col *collector, w io.Writer, entries []traceEntry) {
+	writeChromeTrace(w, entries, traceOptions{})                // WANT errdrop
+	writeChromeTraceFile("trace.json", entries, traceOptions{}) // WANT errdrop
+	col.WriteMetrics(w, nil)                                    // WANT errdrop
+	col.WriteMetricsFile("metrics.prom", nil)                   // WANT errdrop
+}
+
+// Check drops the validation verdict — the only thing the call returns.
+func Check(data []byte) {
+	validateChromeTrace(data) // WANT errdrop
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// Chrome trace-event exporter. The output loads directly into
+// chrome://tracing or https://ui.perfetto.dev: one "process" per traced
+// solve, one "thread" per simulated rank, and one complete ("X") event
+// per recorded span with the timestamp and duration taken from the
+// VIRTUAL clock (microseconds of modeled machine time). The wall-clock
+// interval of each span travels in args.wall_us so both clocks stay
+// inspectable side by side.
+//
+// The writer emits events in (pid, rank, sequence) order with a fixed
+// field order and fixed float formatting, so a deterministic run
+// produces a byte-identical file — the golden-trace tests depend on it.
+
+// TraceEntry is one traced solve in a multi-solve trace file. PID
+// becomes the Chrome process id; Name labels it in the UI.
+type TraceEntry struct {
+	Name      string
+	PID       int
+	Collector *Collector
+}
+
+// TraceOptions tunes the export.
+type TraceOptions struct {
+	// OmitWall drops the wall-clock args from every event, leaving only
+	// virtual-clock fields — the deterministic subset the golden tests
+	// compare byte for byte.
+	OmitWall bool
+}
+
+// errWriter accumulates the first write error so the emit loop stays
+// linear instead of threading an error through every line.
+type errWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (ew *errWriter) writeString(s string) {
+	if ew.err == nil {
+		_, ew.err = ew.w.WriteString(s)
+	}
+}
+
+// WriteChromeTrace serializes the entries as one Chrome trace-event JSON
+// document.
+func WriteChromeTrace(w io.Writer, entries []TraceEntry, opts TraceOptions) error {
+	ew := &errWriter{w: bufio.NewWriter(w)}
+	ew.writeString("{\"traceEvents\":[\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			ew.writeString(",\n")
+		}
+		first = false
+		ew.writeString(line)
+	}
+	for _, entry := range entries {
+		if !entry.Collector.Enabled() {
+			continue
+		}
+		emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%s}}`,
+			entry.PID, strconv.Quote(entry.Name)))
+		entry.Collector.mu.Lock()
+		recs := entry.Collector.rankList()
+		entry.Collector.mu.Unlock()
+		for _, rec := range recs {
+			emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"rank %d"}}`,
+				entry.PID, rec.rank, rec.rank))
+			for _, e := range rec.events {
+				emit(chromeEvent(entry.PID, e, opts))
+			}
+		}
+	}
+	ew.writeString("\n],\"displayTimeUnit\":\"ms\"}\n")
+	if ew.err != nil {
+		return ew.err
+	}
+	return ew.w.Flush()
+}
+
+// WriteChromeTraceFile writes the trace to path.
+func WriteChromeTraceFile(path string, entries []TraceEntry, opts TraceOptions) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChromeTrace(f, entries, opts); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	return f.Close()
+}
+
+// chromeEvent renders one complete event with a fixed field order and
+// fixed-precision timestamps (microseconds, 3 decimals = nanosecond
+// resolution), so equal spans always render to equal bytes.
+func chromeEvent(pid int, e Event, opts TraceOptions) string {
+	name := e.Kind
+	if e.Name != "" {
+		name = e.Kind + ":" + e.Name
+	}
+	us := func(sec float64) string { return strconv.FormatFloat(sec*1e6, 'f', 3, 64) }
+	line := fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"name":%s,"cat":%s,"ts":%s,"dur":%s,"args":{"seq":%d`,
+		pid, e.Rank, strconv.Quote(name), strconv.Quote(e.Kind), us(e.VStart), us(e.VEnd-e.VStart), e.Seq)
+	if e.Peer >= 0 {
+		line += fmt.Sprintf(`,"peer":%d,"tag":%d`, e.Peer, e.Tag)
+	}
+	if e.Bytes > 0 {
+		line += fmt.Sprintf(`,"bytes":%d`, e.Bytes)
+	}
+	if !opts.OmitWall {
+		line += fmt.Sprintf(`,"wall_us":%s,"wall_dur_us":%s`,
+			strconv.FormatFloat(float64(e.WStart)/1e3, 'f', 3, 64),
+			strconv.FormatFloat(float64(e.WEnd-e.WStart)/1e3, 'f', 3, 64))
+	}
+	return line + "}}"
+}

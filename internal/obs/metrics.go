@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus-style text exporter: a point-in-time snapshot of every
+// counter the collector holds, in the classic exposition format
+// (`name{label="value"} 1.23` lines). There is no scrape server — the
+// virtual-time runs are batch jobs — but the format means the snapshots
+// diff cleanly, grep cleanly, and load into any Prometheus tooling.
+//
+// Counter naming: collector-level counters (driver totals such as
+// iterations or restarts) carry only the extra labels; per-rank counters
+// gain a rank="r" label; phase-attributed counters ("flops/spmv") are
+// split into the base name plus a phase label.
+
+// metricPrefix namespaces every exported sample.
+const metricPrefix = "parapre_"
+
+// WriteMetrics writes the counter snapshot in Prometheus text format.
+// extraLabels (may be nil) are attached to every sample — the multi-solve
+// ippsbench export uses a solve="…" label to keep runs apart. Must be
+// called after the recording world has finished.
+func (c *Collector) WriteMetrics(w io.Writer, extraLabels map[string]string) error {
+	if c == nil {
+		return nil
+	}
+	ew := &errWriter{w: bufio.NewWriter(w)}
+	c.mu.Lock()
+	keys, vals := c.snapshotCounters()
+	c.mu.Unlock()
+	for _, k := range keys {
+		name, phase := splitPhase(k.name)
+		var labels []string
+		for _, ln := range sortedKeys(extraLabels) {
+			labels = append(labels, fmt.Sprintf("%s=%s", ln, strconv.Quote(extraLabels[ln])))
+		}
+		if phase != "" {
+			labels = append(labels, fmt.Sprintf("phase=%q", phase))
+		}
+		if k.rank >= 0 {
+			labels = append(labels, fmt.Sprintf("rank=%q", strconv.Itoa(k.rank)))
+		}
+		sample := metricPrefix + sanitizeMetricName(name)
+		if len(labels) > 0 {
+			sample += "{" + strings.Join(labels, ",") + "}"
+		}
+		ew.writeString(sample + " " + strconv.FormatFloat(vals[k], 'g', -1, 64) + "\n")
+	}
+	if ew.err != nil {
+		return ew.err
+	}
+	return ew.w.Flush()
+}
+
+// WriteMetricsFile writes the snapshot to path.
+func (c *Collector) WriteMetricsFile(path string, extraLabels map[string]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteMetrics(f, extraLabels); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	return f.Close()
+}
+
+// splitPhase splits a phase-attributed counter name ("flops/spmv") into
+// the base name and the phase label; names without a slash pass through.
+func splitPhase(name string) (base, phase string) {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		return name[:i], name[i+1:]
+	}
+	return name, ""
+}
+
+// sanitizeMetricName maps arbitrary counter names onto the Prometheus
+// metric-name alphabet [a-zA-Z0-9_:].
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// sortedKeys returns the map's keys in ascending order.
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

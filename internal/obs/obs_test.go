@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestNilCollectorIsInert: every method of the nil collector and the nil
+// recorder must be callable and do nothing — the tracing-off hot path.
+func TestNilCollectorIsInert(t *testing.T) {
+	var c *Collector
+	if c.Enabled() {
+		t.Fatal("nil collector reports enabled")
+	}
+	rec := c.Rank(3)
+	if rec != nil {
+		t.Fatal("nil collector returned a recorder")
+	}
+	c.Add("x", 1)
+	c.Set("y", 2)
+	sp := rec.Begin("spmv", "", 1.5)
+	sp.End(2.5)
+	rec.Count("n", 1)
+	rec.CountPhase("flops", "spmv", 10)
+	if got := c.Events(); got != nil {
+		t.Fatalf("nil collector has events: %v", got)
+	}
+	if got := c.PhaseBreakdown(); got != nil {
+		t.Fatalf("nil collector has phases: %v", got)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteMetrics(&buf, nil); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil collector metrics: err=%v len=%d", err, buf.Len())
+	}
+}
+
+func TestSpanRecordingAndOrdering(t *testing.T) {
+	c := NewCollector()
+	r1, r0 := c.Rank(1), c.Rank(0)
+	s := r0.Begin(KindSpMV, "", 1.0)
+	s.End(2.0)
+	s = r0.BeginComm(KindSend, 2, 7, 80, 2.0)
+	s.End(2.5)
+	s = r1.Begin(KindOrth, "", 0.5)
+	s.End(0.75)
+
+	ev := c.Events()
+	if len(ev) != 3 {
+		t.Fatalf("got %d events, want 3", len(ev))
+	}
+	// Sorted by (rank, seq).
+	if ev[0].Rank != 0 || ev[0].Kind != KindSpMV || ev[0].Dur() != 1.0 {
+		t.Fatalf("event 0: %+v", ev[0])
+	}
+	if ev[1].Kind != KindSend || ev[1].Peer != 2 || ev[1].Tag != 7 || ev[1].Bytes != 80 {
+		t.Fatalf("event 1: %+v", ev[1])
+	}
+	if ev[2].Rank != 1 || ev[2].Kind != KindOrth {
+		t.Fatalf("event 2: %+v", ev[2])
+	}
+	if ev[0].Seq != 0 || ev[1].Seq != 1 || ev[2].Seq != 0 {
+		t.Fatalf("sequence numbers: %d %d %d", ev[0].Seq, ev[1].Seq, ev[2].Seq)
+	}
+}
+
+func TestPhaseBreakdown(t *testing.T) {
+	c := NewCollector()
+	for rank := 0; rank < 2; rank++ {
+		rec := c.Rank(rank)
+		s := rec.Begin(KindSpMV, "", 0)
+		s.End(float64(rank + 1)) // rank 0 spends 1s, rank 1 spends 2s
+		rec.CountPhase("flops", KindSpMV, 100)
+		rec.CountPhase("bytes", KindSend, 64)
+	}
+	stats := c.PhaseBreakdown()
+	var spmv, send *PhaseStat
+	for i := range stats {
+		switch stats[i].Phase {
+		case KindSpMV:
+			spmv = &stats[i]
+		case KindSend:
+			send = &stats[i]
+		}
+	}
+	if spmv == nil || spmv.Count != 2 || spmv.TotalSeconds != 3 || spmv.MaxSeconds != 2 || spmv.Flops != 200 {
+		t.Fatalf("spmv phase: %+v", spmv)
+	}
+	if send == nil || send.Bytes != 128 {
+		t.Fatalf("send phase: %+v", send)
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	c := NewCollector()
+	c.Add("iterations", 42)
+	c.Rank(0).Count("fault_drops", 2)
+	c.Rank(0).CountPhase("flops", KindSpMV, 1e6)
+	var buf bytes.Buffer
+	if err := c.WriteMetrics(&buf, map[string]string{"solve": "tc1/P=4"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`parapre_iterations{solve="tc1/P=4"} 42`,
+		`parapre_fault_drops{solve="tc1/P=4",rank="0"} 2`,
+		`parapre_flops{solve="tc1/P=4",phase="spmv",rank="0"} 1e+06`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChromeTraceDeterministicAndValid(t *testing.T) {
+	build := func() *Collector {
+		c := NewCollector()
+		rec := c.Rank(0)
+		s := rec.Begin(KindSpMV, "", 0.001)
+		s.End(0.002)
+		s = rec.BeginComm(KindSend, 1, 100, 800, 0.002)
+		s.End(0.0021)
+		s = c.Rank(1).Begin(KindPrecondApply, "Schur 1", 0)
+		s.End(0.5)
+		return c
+	}
+	render := func(c *Collector) []byte {
+		var buf bytes.Buffer
+		err := WriteChromeTrace(&buf, []TraceEntry{{Name: "test", PID: 0, Collector: c}}, TraceOptions{OmitWall: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(build()), render(build())
+	if !bytes.Equal(a, b) {
+		t.Fatalf("trace output not deterministic:\n%s\n---\n%s", a, b)
+	}
+	if err := ValidateChromeTrace(a); err != nil {
+		t.Fatalf("exported trace fails validation: %v\n%s", err, a)
+	}
+	if !strings.Contains(string(a), `"name":"precond_apply:Schur 1"`) {
+		t.Fatalf("labeled span missing:\n%s", a)
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":     `{"traceEvents":[`,
+		"no events":    `{"other":1}`,
+		"bad phase":    `{"traceEvents":[{"ph":"Q","pid":0,"tid":0,"name":"x"}]}`,
+		"missing name": `{"traceEvents":[{"ph":"M","pid":0,"tid":0}]}`,
+		"missing pid":  `{"traceEvents":[{"ph":"M","tid":0,"name":"x"}]}`,
+		"negative ts":  `{"traceEvents":[{"ph":"X","pid":0,"tid":0,"name":"x","ts":-1,"dur":0}]}`,
+		"missing dur":  `{"traceEvents":[{"ph":"X","pid":0,"tid":0,"name":"x","ts":1}]}`,
+		"negative tid": `{"traceEvents":[{"ph":"X","pid":0,"tid":-2,"name":"x","ts":1,"dur":1}]}`,
+	}
+	for name, data := range cases {
+		if err := ValidateChromeTrace([]byte(data)); err == nil {
+			t.Errorf("%s: validation passed, want error", name)
+		}
+	}
+	ok := `{"traceEvents":[{"ph":"X","pid":0,"tid":0,"name":"x","ts":1.5,"dur":0}],"displayTimeUnit":"ms"}`
+	if err := ValidateChromeTrace([]byte(ok)); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Minimal Chrome trace-event schema check, used by cmd/tracecheck and the
+// CI traced-solve step: the exported file must parse as JSON, carry a
+// traceEvents array, and every event must satisfy the invariants the
+// exporter promises (known phase, non-negative ids, and for complete
+// events non-negative virtual timestamps and durations).
+
+// traceDoc mirrors the exported document shape for validation.
+type traceDoc struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Ph   string   `json:"ph"`
+	PID  *int     `json:"pid"`
+	TID  *int     `json:"tid"`
+	Name string   `json:"name"`
+	TS   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+}
+
+// ValidateChromeTrace checks data against the minimal trace schema and
+// returns a description of the first violation.
+func ValidateChromeTrace(data []byte) error {
+	var doc traceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("obs: trace has no traceEvents array")
+	}
+	for i, e := range doc.TraceEvents {
+		where := fmt.Sprintf("obs: traceEvents[%d]", i)
+		switch e.Ph {
+		case "X", "M":
+		case "":
+			return fmt.Errorf("%s: missing ph field", where)
+		default:
+			return fmt.Errorf("%s: unexpected phase %q", where, e.Ph)
+		}
+		if e.Name == "" {
+			return fmt.Errorf("%s: missing name", where)
+		}
+		if e.PID == nil || *e.PID < 0 {
+			return fmt.Errorf("%s: missing or negative pid", where)
+		}
+		if e.TID == nil || *e.TID < 0 {
+			return fmt.Errorf("%s: missing or negative tid", where)
+		}
+		if e.Ph == "X" {
+			if e.TS == nil || *e.TS < 0 {
+				return fmt.Errorf("%s: complete event with missing or negative ts", where)
+			}
+			if e.Dur == nil || *e.Dur < 0 {
+				return fmt.Errorf("%s: complete event with missing or negative dur", where)
+			}
+		}
+	}
+	return nil
+}
