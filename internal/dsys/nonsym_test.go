@@ -1,0 +1,71 @@
+package dsys
+
+import (
+	"testing"
+
+	"parapre/internal/sparse"
+)
+
+// nonsymSystem builds a 6-node system split across 2 ranks where global
+// node 3 (rank 1) is referenced by rank 0's row 2 but has no cross edge of
+// its own — the classification must still mark it interface.
+func nonsymSystem() (*sparse.CSR, []float64, []int) {
+	n := 6
+	coo := sparse.NewCOO(n, n, 20)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 4)
+	}
+	coo.Add(0, 1, -1)
+	coo.Add(1, 0, -1)
+	coo.Add(2, 3, -1) // cross edge rank0 → rank1 with no reverse edge
+	coo.Add(4, 5, -1)
+	coo.Add(5, 4, -1)
+	coo.Add(1, 2, -1)
+	coo.Add(2, 1, -1)
+	coo.Add(4, 3, -1)
+	coo.Add(3, 4, -1)
+	b := []float64{1, 1, 1, 1, 1, 1}
+	part := []int{0, 0, 0, 1, 1, 1}
+	return coo.ToCSR(), b, part
+}
+
+// Regression: the interface classification used to look only at outgoing
+// edges, so a node referenced exclusively through incoming cross edges
+// stayed "internal" on its owner — dsys could still exchange it via
+// SendIdx, but the Schur machinery (which only sends interface unknowns)
+// failed its send-map construction. The classification is now symmetric.
+func TestNonsymmetricPatternInterfaceClassification(t *testing.T) {
+	a, b, part := nonsymSystem()
+	systems := Distribute(a, b, part, 2)
+	s1 := systems[1]
+	// Global node 3 is owned by rank 1 and must be interface there.
+	found := false
+	for l, g := range s1.GlobalIDs {
+		if g == 3 {
+			found = true
+			if l < s1.NInt {
+				t.Fatalf("global node 3 classified internal (local %d < NInt %d)", l, s1.NInt)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("rank 1 does not own global node 3")
+	}
+	for _, s := range systems {
+		if err := s.CheckStructure(); err != nil {
+			t.Fatalf("rank %d: %v", s.Rank, err)
+		}
+	}
+	// Every unknown any rank imports must be an interface unknown on its
+	// owner — the invariant the Schur operators rely on.
+	for _, s := range systems {
+		for _, g := range s.ExtGlobal {
+			owner := systems[part[g]]
+			for l, og := range owner.GlobalIDs {
+				if og == g && l < owner.NInt {
+					t.Fatalf("rank %d imports global %d, internal on rank %d", s.Rank, g, owner.Rank)
+				}
+			}
+		}
+	}
+}

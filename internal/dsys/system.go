@@ -68,13 +68,18 @@ func (s *System) String() string {
 
 // Distribute splits the globally assembled system (a, b) into P subdomain
 // systems according to part (part[g] = owning rank of global row g). It
-// performs the classification of §1.1: a node is interdomain interface iff
-// its matrix row couples to a node of another subdomain; otherwise it is
-// internal. The node classification and the per-rank subdomain builds are
-// independent, so both run on the shared-memory worker pool; each rank's
-// System is a deterministic function of (a, b, part), so the result does
-// not depend on the worker count. Only the final neighbor wiring, which
-// reads across ranks, stays serial.
+// performs the classification of §1.1 on the symmetrized pattern: a node
+// is interdomain interface iff its matrix row couples to a node of another
+// subdomain, or a row of another subdomain couples to it; otherwise it is
+// internal. The column direction matters for structurally unsymmetric
+// matrices — a node referenced only through incoming cross edges is sent
+// to its neighbors during the exchange, and the Schur machinery requires
+// every sent node to be an interface unknown. The node classification and
+// the per-rank subdomain builds are independent, so both run on the
+// shared-memory worker pool; each rank's System is a deterministic
+// function of (a, b, part), so the result does not depend on the worker
+// count. Only the final neighbor wiring, which reads across ranks, stays
+// serial.
 func Distribute(a *sparse.CSR, b []float64, part []int, p int) []*System {
 	if a.Rows != a.Cols {
 		panic("dsys: matrix must be square")
@@ -84,7 +89,9 @@ func Distribute(a *sparse.CSR, b []float64, part []int, p int) []*System {
 		panic("dsys: dimension mismatch between matrix, rhs and partition")
 	}
 
-	// Classify every global node.
+	// Classify every global node. The row direction is embarrassingly
+	// parallel; the column direction writes to arbitrary isIface entries,
+	// so it stays serial (one O(nnz) sweep over the rows).
 	isIface := make([]bool, n)
 	par.For(n, 4096, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -97,6 +104,14 @@ func Distribute(a *sparse.CSR, b []float64, part []int, p int) []*System {
 			}
 		}
 	})
+	for i := 0; i < n; i++ {
+		cols, _ := a.Row(i)
+		for _, j := range cols {
+			if part[j] != part[i] {
+				isIface[j] = true
+			}
+		}
+	}
 
 	systems := make([]*System, p)
 	par.For(p, 1, func(lo, hi int) {

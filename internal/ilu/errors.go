@@ -1,0 +1,39 @@
+package ilu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrZeroPivot is the sentinel all structural-singularity errors wrap.
+// Callers test for it with errors.Is(err, ilu.ErrZeroPivot), mirroring the
+// krylov.ErrBreakdown convention.
+//
+// It is returned when a factorization encounters a row that carries no
+// numerical information at all (structurally empty, or every stored entry
+// exactly zero): no drop tolerance or pivot repair can make the resulting
+// U nonsingular, so silently flooring the pivot — the old behavior — would
+// hand the solver a factor whose application amplifies the right-hand side
+// by 1/pivotRel. Small-but-nonzero pivots are still repaired relative to
+// the row norm and counted in PivotFixes/Fixes; only the truly
+// information-free case is an error.
+var ErrZeroPivot = errors.New("ilu: zero pivot")
+
+// ZeroPivotError identifies the factorization and row where a structurally
+// singular pivot was detected. It wraps ErrZeroPivot.
+type ZeroPivotError struct {
+	Method string // "ILU0", "ILUT", "ILUTP" or "IC0"
+	Row    int    // row index in the matrix being factored
+}
+
+func (e *ZeroPivotError) Error() string {
+	return fmt.Sprintf("ilu: %s: row %d is structurally zero, factorization singular", e.Method, e.Row)
+}
+
+// Unwrap makes errors.Is(e, ErrZeroPivot) true.
+func (e *ZeroPivotError) Unwrap() error { return ErrZeroPivot }
+
+// zeroPivotErr builds the factorization-side singularity record.
+func zeroPivotErr(method string, row int) *ZeroPivotError {
+	return &ZeroPivotError{Method: method, Row: row}
+}

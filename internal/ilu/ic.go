@@ -79,9 +79,10 @@ func IC0(a *sparse.CSR) (*Chol, error) {
 				diagA = vals[k]
 			}
 		}
-		if len(cols) > 0 {
-			rowNorm /= float64(len(cols))
+		if rowNorm == 0 {
+			return nil, zeroPivotErr("IC0", i)
 		}
+		rowNorm /= float64(len(cols))
 
 		// Compute L[i][j] for j in pattern, in increasing j.
 		rowCols := l.ColIdx[start:]

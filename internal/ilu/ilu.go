@@ -97,6 +97,11 @@ func ILU0(a *sparse.CSR) (*LU, error) {
 	diag := make([]int, n)
 	for i := 0; i < n; i++ {
 		cols, _ := m.Row(i)
+		if len(cols) == 0 {
+			// A structurally empty row is a singular matrix, not a pattern
+			// deficiency: report it as the typed zero-pivot error.
+			return nil, zeroPivotErr("ILU0", i)
+		}
 		k := sort.SearchInts(cols, i)
 		if k == len(cols) || cols[k] != i {
 			return nil, fmt.Errorf("ilu: row %d has no diagonal entry", i)
@@ -115,6 +120,9 @@ func ILU0(a *sparse.CSR) (*LU, error) {
 		for k := lo; k < hi; k++ {
 			pos[m.ColIdx[k]] = k
 			rowNorm += math.Abs(m.Val[k])
+		}
+		if rowNorm == 0 {
+			return nil, zeroPivotErr("ILU0", i)
 		}
 		rowNorm /= float64(hi - lo)
 		for k := lo; k < diag[i]; k++ {

@@ -246,11 +246,13 @@ func TestILUTPropertyCompleteEqualsDense(t *testing.T) {
 }
 
 func TestPivotFixKeepsSolveFinite(t *testing.T) {
-	// A structurally singular matrix (zero row/column except diagonal
-	// zero) must not produce Inf/NaN after the pivot fix.
-	coo := sparse.NewCOO(3, 3, 5)
+	// A numerically singular row that still carries information (zero
+	// diagonal, nonzero off-diagonals) must not produce Inf/NaN after the
+	// pivot fix.
+	coo := sparse.NewCOO(3, 3, 6)
 	coo.Add(0, 0, 1)
 	coo.Add(1, 1, 0) // explicit zero pivot
+	coo.Add(1, 2, 1) // but the row is not information-free
 	coo.Add(2, 2, 2)
 	coo.Add(0, 2, 1)
 	coo.Add(2, 0, 1)

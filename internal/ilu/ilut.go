@@ -87,9 +87,10 @@ func ILUT(a *sparse.CSR, opt ILUTOptions) (*LU, error) {
 			inRow[i] = true
 			uCols = append(uCols, i)
 		}
-		if len(cols) > 0 {
-			rowNorm /= float64(len(cols))
+		if rowNorm == 0 {
+			return nil, zeroPivotErr("ILUT", i)
 		}
+		rowNorm /= float64(len(cols))
 		drop := opt.Tau * rowNorm
 		heap.Init(&lCols)
 

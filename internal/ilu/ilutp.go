@@ -87,9 +87,10 @@ func ILUTP(a *sparse.CSR, opt ILUTPOptions) (*PivLU, error) {
 				uCols = append(uCols, j)
 			}
 		}
-		if len(cols) > 0 {
-			rowNorm /= float64(len(cols))
+		if rowNorm == 0 {
+			return nil, zeroPivotErr("ILUTP", i)
 		}
+		rowNorm /= float64(len(cols))
 		drop := opt.Tau * rowNorm
 		heap.Init(&lCols)
 

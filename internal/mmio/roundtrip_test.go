@@ -1,0 +1,182 @@
+package mmio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"parapre/internal/sparse"
+)
+
+// Round-trip invariants: read → write → read must preserve the expanded
+// matrix exactly, and write → read → write must be byte-stable (the
+// writer always emits coordinate real general, so the second write is a
+// fixed point even when the source used symmetric or pattern storage).
+
+func roundTrip(t *testing.T, name, src string) {
+	t.Helper()
+	a, err := ReadMatrix(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("%s: read: %v", name, err)
+	}
+	var buf1 bytes.Buffer
+	if err := WriteMatrix(&buf1, a); err != nil {
+		t.Fatalf("%s: write: %v", name, err)
+	}
+	b, err := ReadMatrix(bytes.NewReader(buf1.Bytes()))
+	if err != nil {
+		t.Fatalf("%s: re-read: %v", name, err)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("%s: matrix changed across write→read", name)
+	}
+	var buf2 bytes.Buffer
+	if err := WriteMatrix(&buf2, b); err != nil {
+		t.Fatalf("%s: re-write: %v", name, err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatalf("%s: write→read→write is not byte-stable:\n%q\nvs\n%q",
+			name, buf1.String(), buf2.String())
+	}
+}
+
+func TestRoundTripSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+% lower triangle only; the reader must mirror the off-diagonals
+3 3 4
+1 1 2.5
+2 1 -1
+3 2 -0.125
+3 3 4
+`
+	a, err := ReadMatrix(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got := a.NNZ(); got != 6 {
+		t.Errorf("expanded nnz = %d, want 6 (two mirrored off-diagonals)", got)
+	}
+	ad := a.Dense()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if ad.At(i, j) != ad.At(j, i) {
+				t.Errorf("expansion not symmetric at (%d,%d): %g vs %g", i, j, ad.At(i, j), ad.At(j, i))
+			}
+		}
+	}
+	roundTrip(t, "symmetric", src)
+}
+
+func TestRoundTripSkewSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real skew-symmetric
+3 3 2
+2 1 1.5
+3 1 -2
+`
+	a, err := ReadMatrix(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	ad := a.Dense()
+	if ad.At(0, 1) != -1.5 || ad.At(0, 2) != 2 {
+		t.Errorf("skew mirror wrong: A[0,1]=%g A[0,2]=%g", ad.At(0, 1), ad.At(0, 2))
+	}
+	roundTrip(t, "skew-symmetric", src)
+}
+
+func TestRoundTripPattern(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate pattern general
+2 3 3
+1 1
+1 3
+2 2
+`
+	a, err := ReadMatrix(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	ad := a.Dense()
+	for _, e := range [][2]int{{0, 0}, {0, 2}, {1, 1}} {
+		if ad.At(e[0], e[1]) != 1 {
+			t.Errorf("pattern entry (%d,%d) = %g, want 1", e[0], e[1], ad.At(e[0], e[1]))
+		}
+	}
+	roundTrip(t, "pattern", src)
+}
+
+func TestRoundTripPatternSymmetric(t *testing.T) {
+	roundTrip(t, "pattern-symmetric", `%%MatrixMarket matrix coordinate pattern symmetric
+3 3 3
+1 1
+2 1
+3 3
+`)
+}
+
+func TestRoundTripOneByOne(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real general
+1 1 1
+1 1 -7.25
+`
+	a, err := ReadMatrix(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if a.Rows != 1 || a.Cols != 1 || a.Dense().At(0, 0) != -7.25 {
+		t.Fatalf("1×1 matrix misparsed: %d×%d", a.Rows, a.Cols)
+	}
+	roundTrip(t, "1x1", src)
+}
+
+func TestRoundTripEmptyMatrix(t *testing.T) {
+	// nnz = 0 is legal: an all-zero matrix.
+	roundTrip(t, "empty", `%%MatrixMarket matrix coordinate real general
+2 2 0
+`)
+}
+
+// TestWriterReaderCSRAgreement drives the pair from the CSR side: a
+// programmatically built matrix written and re-read must be Equal,
+// including values that stress the %.17g formatting.
+func TestWriterReaderCSRAgreement(t *testing.T) {
+	coo := sparse.NewCOO(4, 4, 8)
+	coo.Add(0, 0, 1.0/3.0)
+	coo.Add(0, 3, -2.7182818284590452)
+	coo.Add(1, 1, 1e-300)
+	coo.Add(2, 2, 1e300)
+	coo.Add(3, 0, -0.1)
+	coo.Add(3, 3, 12345678901234567)
+	a := coo.ToCSR()
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, a); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	b, err := ReadMatrix(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("CSR changed across write→read (is the 17-digit formatting losing bits?)")
+	}
+}
+
+func TestVectorRoundTripEdgeCases(t *testing.T) {
+	for _, x := range [][]float64{{}, {1.5}, {1.0 / 3.0, -2, 1e-17}} {
+		var buf bytes.Buffer
+		if err := WriteVector(&buf, x); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		y, err := ReadVector(&buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if len(x) != len(y) {
+			t.Fatalf("length %d → %d", len(x), len(y))
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				t.Errorf("x[%d]: %g → %g", i, x[i], y[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package order
+
+import (
+	"testing"
+
+	"parapre/internal/sparse"
+)
+
+// Edge cases the verification harness exercises through perm-identity:
+// RCM must return a valid permutation for empty, trivial, diagonal-only,
+// and unsymmetric-pattern inputs — not just nice FEM graphs.
+
+func TestRCMEmptyMatrix(t *testing.T) {
+	a := sparse.NewCOO(0, 0, 0).ToCSR()
+	p := RCM(a)
+	if len(p) != 0 || !p.IsValid() {
+		t.Errorf("RCM of 0×0 matrix: %v", p)
+	}
+	if Bandwidth(a) != 0 || Profile(a) != 0 {
+		t.Errorf("bandwidth/profile of empty matrix nonzero")
+	}
+}
+
+func TestRCMSingleVertex(t *testing.T) {
+	coo := sparse.NewCOO(1, 1, 1)
+	coo.Add(0, 0, 3)
+	p := RCM(coo.ToCSR())
+	if len(p) != 1 || p[0] != 0 {
+		t.Errorf("RCM of 1×1 matrix: %v", p)
+	}
+}
+
+// Diagonal-only: every vertex is isolated, i.e. the maximally
+// disconnected graph. RCM must still touch each exactly once.
+func TestRCMDiagonalOnly(t *testing.T) {
+	n := 7
+	coo := sparse.NewCOO(n, n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 1)
+	}
+	p := RCM(coo.ToCSR())
+	if len(p) != n || !p.IsValid() {
+		t.Errorf("RCM of diagonal matrix invalid: %v", p)
+	}
+}
+
+// Structurally empty rows (no diagonal either) are isolated vertices too;
+// the ordering must include them rather than drop them.
+func TestRCMEmptyRows(t *testing.T) {
+	coo := sparse.NewCOO(5, 5, 6)
+	coo.Add(0, 0, 2)
+	coo.Add(0, 1, -1)
+	coo.Add(1, 1, 2)
+	coo.Add(4, 4, 2)
+	// rows 2 and 3 are structurally empty
+	p := RCM(coo.ToCSR())
+	if len(p) != 5 || !p.IsValid() {
+		t.Errorf("RCM with empty rows invalid: %v", p)
+	}
+}
+
+// An unsymmetric pattern must be symmetrized, not mis-ordered: an edge
+// stored in only one triangle still connects both endpoints.
+func TestRCMUnsymmetricPattern(t *testing.T) {
+	n := 6
+	coo := sparse.NewCOO(n, n, 2*n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 4)
+	}
+	// One-directional chain edges only: (i, i+1) without (i+1, i).
+	for i := 0; i < n-1; i++ {
+		coo.Add(i, i+1, -1)
+	}
+	a := coo.ToCSR()
+	p := RCM(a)
+	if !p.IsValid() {
+		t.Fatalf("RCM of unsymmetric pattern invalid: %v", p)
+	}
+	// The graph is a path, so RCM must recover bandwidth 1 after a
+	// symmetric permutation.
+	if bw := Bandwidth(sparse.PermuteSym(a, p)); bw != 1 {
+		t.Errorf("path graph reordered to bandwidth %d, want 1", bw)
+	}
+}

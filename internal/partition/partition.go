@@ -32,7 +32,9 @@ func (g *Graph) Neighbors(v int) []int { return g.Adj[g.Ptr[v]:g.Ptr[v+1]] }
 // General partitions the graph into p parts using seeded greedy graph
 // growing with recursive bisection and FM refinement. It returns part,
 // with part[v] ∈ [0, p) for every vertex v. Every part is non-empty
-// whenever p ≤ NumVertices.
+// whenever p ≤ NumVertices; when p exceeds the vertex count, vertex v is
+// assigned to part v and the parts ≥ NumVertices stay empty — there are
+// simply not enough vertices to populate them.
 func General(g *Graph, p int, seed int64) []int {
 	n := g.NumVertices()
 	if p < 1 {
@@ -42,8 +44,11 @@ func General(g *Graph, p int, seed int64) []int {
 	if p == 1 {
 		return part
 	}
-	if p > n {
-		panic(fmt.Sprintf("partition: p = %d exceeds %d vertices", p, n))
+	if p >= n {
+		for v := range part {
+			part[v] = v
+		}
+		return part
 	}
 	verts := make([]int, n)
 	for i := range verts {

@@ -107,7 +107,7 @@ func TestGeneralP1(t *testing.T) {
 
 func TestGeneralPanicsOnBadP(t *testing.T) {
 	g := meshGraph(grid.UnitSquareTri(3))
-	for _, p := range []int{0, -1, 10} {
+	for _, p := range []int{0, -1} {
 		func() {
 			defer func() {
 				if recover() == nil {
@@ -116,6 +116,28 @@ func TestGeneralPanicsOnBadP(t *testing.T) {
 			}()
 			General(g, p, 0)
 		}()
+	}
+}
+
+func TestGeneralPExceedsVertices(t *testing.T) {
+	// p > n is a legal degenerate request: every vertex gets its own part
+	// and the parts ≥ n stay empty (unavoidable).
+	g := meshGraph(grid.UnitSquareTri(3))
+	n := g.NumVertices()
+	p := n + 5
+	part := General(g, p, 0)
+	if len(part) != n {
+		t.Fatalf("partition length %d, want %d", len(part), n)
+	}
+	seen := make([]bool, p)
+	for v, q := range part {
+		if q < 0 || q >= p {
+			t.Fatalf("vertex %d assigned to invalid part %d", v, q)
+		}
+		if seen[q] {
+			t.Fatalf("part %d holds more than one vertex while others are empty", q)
+		}
+		seen[q] = true
 	}
 }
 

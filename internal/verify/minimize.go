@@ -1,0 +1,36 @@
+package verify
+
+import "fmt"
+
+// minimize shrinks a failing (n, seed) reproducer: first the problem size
+// is walked down while the failure persists, then the seed is swept over
+// a small range at the final size. fails must be a pure function of its
+// arguments. Returns the minimized parameters formatted for
+// Violation.Repro.
+func minimize(fails func(n int, seed int64) bool, n int, seed int64, minN int) (int, int64) {
+	if minN < 1 {
+		minN = 1
+	}
+	// Halve while failing, then step down linearly.
+	for n/2 >= minN && fails(n/2, seed) {
+		n = n / 2
+	}
+	for n-1 >= minN && fails(n-1, seed) {
+		n--
+	}
+	for s := int64(0); s < 8; s++ {
+		if s != seed && fails(n, s) {
+			return n, s
+		}
+	}
+	return n, seed
+}
+
+// repro formats reproducer parameters uniformly.
+func repro(n int, seed int64, extra string) string {
+	s := fmt.Sprintf("n=%d seed=%d", n, seed)
+	if extra != "" {
+		s += " " + extra
+	}
+	return s
+}

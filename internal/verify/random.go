@@ -1,0 +1,115 @@
+package verify
+
+import (
+	"math/rand"
+
+	"parapre/internal/sparse"
+)
+
+// randomDiagDominant builds a seeded random n×n matrix with ~density
+// off-diagonal fill and a diagonal large enough to keep every
+// factorization well defined. Deterministic in (n, density, seed).
+func randomDiagDominant(n int, density float64, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	coo := sparse.NewCOO(n, n, n*4)
+	for i := 0; i < n; i++ {
+		var off float64
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if rng.Float64() < density {
+				v := rng.NormFloat64()
+				coo.Add(i, j, v)
+				if v < 0 {
+					off -= v
+				} else {
+					off += v
+				}
+			}
+		}
+		coo.Add(i, i, off+1+rng.Float64())
+	}
+	return coo.ToCSR()
+}
+
+// randomSPD builds a seeded random sparse SPD matrix: symmetric pattern,
+// symmetric values, strictly diagonally dominant (hence SPD).
+func randomSPD(n int, density float64, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	coo := sparse.NewCOO(n, n, n*4)
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				v := rng.NormFloat64()
+				coo.Add(i, j, v)
+				coo.Add(j, i, v)
+				a := v
+				if a < 0 {
+					a = -a
+				}
+				diag[i] += a
+				diag[j] += a
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, diag[i]+1+rng.Float64())
+	}
+	return coo.ToCSR()
+}
+
+// randomNonsymPattern builds a matrix whose sparsity pattern is
+// structurally unsymmetric: one-way couplings appear with the given
+// density. Diagonally dominant so factorizations stay well defined.
+func randomNonsymPattern(n int, density float64, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	coo := sparse.NewCOO(n, n, n*4)
+	for i := 0; i < n; i++ {
+		var off float64
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			// Independent draw per directed edge — about half the cross
+			// couplings end up one-way.
+			if rng.Float64() < density {
+				v := rng.NormFloat64()
+				coo.Add(i, j, v)
+				if v < 0 {
+					off -= v
+				} else {
+					off += v
+				}
+			}
+		}
+		coo.Add(i, i, off+1+rng.Float64())
+	}
+	return coo.ToCSR()
+}
+
+// randomRHS builds a seeded right-hand side with entries in [-1, 1).
+func randomRHS(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 2*rng.Float64() - 1
+	}
+	return b
+}
+
+// randomPartition assigns each of n nodes to one of p parts, guaranteeing
+// every part is non-empty when p ≤ n (the first p nodes seed the parts).
+func randomPartition(n, p int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed ^ 0x9a47))
+	part := make([]int, n)
+	for i := 0; i < n; i++ {
+		if i < p {
+			part[i] = i
+		} else {
+			part[i] = rng.Intn(p)
+		}
+	}
+	return part
+}

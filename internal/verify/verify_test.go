@@ -1,0 +1,51 @@
+package verify
+
+import "testing"
+
+// TestQuickSuite runs the full oracle registry in quick (CI smoke) mode.
+// Any violation is a real numerical bug somewhere below this package.
+func TestQuickSuite(t *testing.T) {
+	cfg := Config{Seed: 1, Quick: true, Logf: t.Logf}
+	rep := Run(cfg, "")
+	if len(rep.Ran) != len(Checks()) {
+		t.Fatalf("ran %d of %d checks", len(rep.Ran), len(Checks()))
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("%s", v)
+	}
+}
+
+// TestMinimizeShrinks pins the reproducer minimizer: a failure predicate
+// true for all n ≥ 3 must be walked down to exactly n = 3, and the seed
+// sweep must find the smallest failing seed.
+func TestMinimizeShrinks(t *testing.T) {
+	n, seed := minimize(func(n int, s int64) bool { return n >= 3 }, 48, 9, 1)
+	if n != 3 {
+		t.Errorf("minimized n = %d, want 3", n)
+	}
+	if seed != 0 {
+		t.Errorf("minimized seed = %d, want 0 (any seed fails at n=3)", seed)
+	}
+
+	n, seed = minimize(func(n int, s int64) bool { return n >= 3 && s == 9 }, 48, 9, 1)
+	if n != 3 || seed != 9 {
+		t.Errorf("minimized (n, seed) = (%d, %d), want (3, 9)", n, seed)
+	}
+}
+
+// TestReportSummary checks the violation formatting used by paracheck.
+func TestReportSummary(t *testing.T) {
+	rep := &Report{Ran: []string{"a", "b"}}
+	if rep.Failed() {
+		t.Error("empty report reports failure")
+	}
+	rep.Violations = append(rep.Violations, Violation{Check: "a", Detail: "x != y", Repro: "n=3 seed=0"})
+	if !rep.Failed() {
+		t.Error("report with violations reports success")
+	}
+	s := rep.Summary()
+	want := "2 checks run, 1 violations\n  VIOLATION a: x != y [repro: n=3 seed=0]\n"
+	if s != want {
+		t.Errorf("summary = %q, want %q", s, want)
+	}
+}
