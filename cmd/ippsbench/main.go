@@ -38,12 +38,15 @@ import (
 func main() {
 	var (
 		list    = flag.Bool("list", false, "list experiments and exit")
-		exp     = flag.String("exp", "", "experiment id to run (see -list)")
+		exp     = flag.String("exp", "", "experiment id(s) to run, comma separated (see -list)")
 		all     = flag.Bool("all", false, "run every experiment")
 		size    = flag.Int("size", 0, "override the grid resolution parameter (0 = experiment default)")
 		procs   = flag.String("procs", "", "override the processor counts, comma separated (e.g. 2,4,8)")
 		md      = flag.Bool("markdown", false, "emit GitHub-flavored Markdown tables")
 		jsonOut = flag.Bool("json", false, "also write results to BENCH_<date>.json")
+		jsonTo  = flag.String("o", "", "JSON output path (implies -json; default BENCH_<date>.json)")
+		compare = flag.String("compare", "", "compare modeled times against a committed BENCH_*.json baseline and fail on regressions")
+		tol     = flag.Float64("tol", 0.10, "relative modeled-time regression tolerance for -compare")
 		workers = flag.Int("workers", 0, "shared-memory worker count (0 = GOMAXPROCS / PARAPRE_WORKERS)")
 
 		faults    = flag.String("faults", "", `chaos plan for every solve: "drop", "delay", "corrupt", "straggler" or "crash"`)
@@ -81,11 +84,13 @@ func main() {
 	case *all:
 		toRun = bench.Experiments()
 	case *exp != "":
-		e, err := bench.ByID(*exp)
-		if err != nil {
-			fatal(err)
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := bench.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			toRun = append(toRun, e)
 		}
-		toRun = []bench.Experiment{e}
 	default:
 		fmt.Fprintln(os.Stderr, "ippsbench: specify -exp <id>, -all, or -list")
 		os.Exit(2)
@@ -177,13 +182,34 @@ func main() {
 		fmt.Printf("wrote metrics %s (%d solves)\n", *metrics, len(observed))
 	}
 
-	if *jsonOut {
+	if *jsonOut || *jsonTo != "" {
 		date := time.Now().Format("2006-01-02")
-		path := "BENCH_" + date + ".json"
+		path := *jsonTo
+		if path == "" {
+			path = "BENCH_" + date + ".json"
+		}
 		if err := bench.NewReport(date, allTables).WriteFile(path); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s (workers=%d)\n", path, par.Workers())
+	}
+
+	if *compare != "" {
+		base, err := bench.ReadReport(*compare)
+		if err != nil {
+			fatal(err)
+		}
+		cur := bench.NewReport("", allTables)
+		regs := bench.CompareModelTimes(base, cur, *tol)
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "ippsbench: %d modeled-time regression(s) vs %s (tol %.0f%%):\n",
+				len(regs), *compare, *tol*100)
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("modeled times within %.0f%% of %s\n", *tol*100, *compare)
 	}
 }
 

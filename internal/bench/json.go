@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
 
@@ -87,4 +88,68 @@ func (r *Report) WriteFile(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport loads a previously written BENCH_*.json report.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// cellKey identifies one measurement across reports.
+type cellKey struct {
+	table   string
+	p       int
+	precond string
+}
+
+// CompareModelTimes checks the current report against a committed baseline:
+// every cell present in both must keep its iteration count exactly (modeled
+// runs are deterministic; an iteration change is a golden change) and its
+// modeled time within the relative tolerance. Wall-clock times are
+// host-dependent and deliberately not compared. The returned strings
+// describe each regression; an empty slice means the run is clean. Cells
+// present in only one report are skipped, so the guard tolerates baseline
+// and run configurations that overlap rather than match.
+func CompareModelTimes(base, cur *Report, tol float64) []string {
+	ref := make(map[cellKey]ReportCell)
+	for _, t := range base.Tables {
+		for _, r := range t.Rows {
+			for _, c := range r.Cells {
+				ref[cellKey{t.ID, r.P, c.Precond}] = c
+			}
+		}
+	}
+	var regs []string
+	for _, t := range cur.Tables {
+		for _, r := range t.Rows {
+			for _, c := range r.Cells {
+				b, ok := ref[cellKey{t.ID, r.P, c.Precond}]
+				if !ok {
+					continue
+				}
+				id := fmt.Sprintf("%s/%s/P=%d", t.ID, c.Precond, r.P)
+				if c.Iters != b.Iters {
+					regs = append(regs, fmt.Sprintf("%s: iterations %d, baseline %d", id, c.Iters, b.Iters))
+					continue
+				}
+				if c.Converged != b.Converged {
+					regs = append(regs, fmt.Sprintf("%s: converged=%v, baseline %v", id, c.Converged, b.Converged))
+					continue
+				}
+				if b.ModelTime > 0 && c.ModelTime > b.ModelTime*(1+tol) {
+					regs = append(regs, fmt.Sprintf("%s: modeled time %.4fs exceeds baseline %.4fs by more than %.0f%%",
+						id, c.ModelTime, b.ModelTime, tol*100))
+				}
+			}
+		}
+	}
+	return regs
 }

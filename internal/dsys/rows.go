@@ -71,6 +71,11 @@ func DistributeRows(slabs []*sparse.CSR, rhs [][]float64, part []int) ([]*System
 		systems[r] = buildLocalFromSlab(slabs[r], rhs[r], part, r, p, isIface, g2l)
 	}
 	wireNeighbors(systems)
+	// Same pre-warm as Distribute: decide the blocked-SpMV format now so
+	// the first solve does not pay for block detection.
+	for _, s := range systems {
+		s.A.AutoBlocked()
+	}
 	return systems, nil
 }
 

@@ -3,7 +3,9 @@ package ilu
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
+	"parapre/internal/par"
 	"parapre/internal/sparse"
 )
 
@@ -17,34 +19,111 @@ type Chol struct {
 	// Fixes counts diagonal entries that had to be repaired to keep the
 	// factorization real (0 for M-matrices / well-behaved SPD input).
 	Fixes int
+
+	// lvl caches the level schedule of the triangular sweeps — see
+	// levels.go.
+	lvl atomic.Pointer[triSched]
 }
 
 // N returns the matrix dimension.
 func (c *Chol) N() int { return c.L.Rows }
 
-// SolveFlops returns the cost of one Solve application.
+// SolveFlops returns the cost of one Solve application. The factor L is
+// applied twice (L and Lᵀ), so the 2-flops-per-applied-entry convention
+// shared with LU.SolveFlops gives 4·NNZ(L). The exact kernel count is
+// 4·NNZ(L) − 2n (the diagonal of each sweep is one divide, not a
+// multiply-subtract pair); the model keeps the round form for the same
+// golden-stability reason as LU.SolveFlops. TestCholSolveFlopsModel pins
+// both.
 func (c *Chol) SolveFlops() float64 { return 4 * float64(c.L.NNZ()) }
 
-// Solve computes z = L⁻ᵀ·L⁻¹·r. z and r may alias.
+// Solve computes z = L⁻ᵀ·L⁻¹·r. z and r may alias. Sweeps run
+// level-scheduled when enabled and profitable, bit-identical to the
+// serial sweeps — see levels.go.
 func (c *Chol) Solve(z, r []float64) {
+	if s := c.sched(); s != nil {
+		c.solveScheduled(z, r, s)
+		return
+	}
+	c.forwardSerial(z, r)
+	c.backwardSerial(z)
+}
+
+// forwardSerial solves L·z = r (diagonal is the last entry of each row).
+func (c *Chol) forwardSerial(z, r []float64) {
 	n := c.N()
-	// Forward: L z = r (diagonal is the last entry of each row).
+	rp, ci, vv := c.L.RowPtr, c.L.ColIdx, c.L.Val
 	for i := 0; i < n; i++ {
 		s := r[i]
-		lo, hi := c.L.RowPtr[i], c.L.RowPtr[i+1]
-		for k := lo; k < hi-1; k++ {
-			s -= c.L.Val[k] * z[c.L.ColIdx[k]]
+		hi := rp[i+1]
+		row := vv[rp[i] : hi-1]
+		cols := ci[rp[i] : hi-1]
+		for k, v := range row {
+			s -= v * z[cols[k]]
 		}
-		z[i] = s / c.L.Val[hi-1]
+		z[i] = s / vv[hi-1]
 	}
-	// Backward: Lᵀ z = z (diagonal is the first entry of each Lt row).
+}
+
+// backwardSerial solves Lᵀ·z = z (diagonal is the first entry of each Lt
+// row).
+func (c *Chol) backwardSerial(z []float64) {
+	n := c.N()
+	rp, ci, vv := c.Lt.RowPtr, c.Lt.ColIdx, c.Lt.Val
 	for i := n - 1; i >= 0; i-- {
-		lo, hi := c.Lt.RowPtr[i], c.Lt.RowPtr[i+1]
+		lo := rp[i]
 		s := z[i]
-		for k := lo + 1; k < hi; k++ {
-			s -= c.Lt.Val[k] * z[c.Lt.ColIdx[k]]
+		row := vv[lo+1 : rp[i+1]]
+		cols := ci[lo+1 : rp[i+1]]
+		for k, v := range row {
+			s -= v * z[cols[k]]
 		}
-		z[i] = s / c.Lt.Val[lo]
+		z[i] = s / vv[lo]
+	}
+}
+
+// solveScheduled runs the level-scheduled sweeps; each direction falls
+// back to its serial sweep when its level structure is too narrow.
+func (c *Chol) solveScheduled(z, r []float64, s *triSched) {
+	w := par.Workers()
+	force := levelMode() == LevelForce
+	if force || s.fwd.profitable(w) {
+		rp, ci, vv := c.L.RowPtr, c.L.ColIdx, c.L.Val
+		rows := s.fwd.rows
+		par.ForLevels(s.fwd.ptr, func(lo, hi int) {
+			for t := lo; t < hi; t++ {
+				i := rows[t]
+				acc := r[i]
+				end := rp[i+1]
+				row := vv[rp[i] : end-1]
+				cols := ci[rp[i] : end-1]
+				for k, v := range row {
+					acc -= v * z[cols[k]]
+				}
+				z[i] = acc / vv[end-1]
+			}
+		})
+	} else {
+		c.forwardSerial(z, r)
+	}
+	if force || s.bwd.profitable(w) {
+		rp, ci, vv := c.Lt.RowPtr, c.Lt.ColIdx, c.Lt.Val
+		rows := s.bwd.rows
+		par.ForLevels(s.bwd.ptr, func(lo, hi int) {
+			for t := lo; t < hi; t++ {
+				i := rows[t]
+				base := rp[i]
+				acc := z[i]
+				row := vv[base+1 : rp[i+1]]
+				cols := ci[base+1 : rp[i+1]]
+				for k, v := range row {
+					acc -= v * z[cols[k]]
+				}
+				z[i] = acc / vv[base]
+			}
+		})
+	} else {
+		c.backwardSerial(z)
 	}
 }
 
@@ -124,5 +203,7 @@ func IC0(a *sparse.CSR) (*Chol, error) {
 			w[j] = 0
 		}
 	}
-	return &Chol{L: l, Lt: l.Transpose(), Fixes: fixes}, nil
+	c := &Chol{L: l, Lt: l.Transpose(), Fixes: fixes}
+	c.prepLevels()
+	return c, nil
 }

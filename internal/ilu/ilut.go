@@ -1,7 +1,6 @@
 package ilu
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -21,19 +20,63 @@ type ILUTOptions struct {
 // subdomain solvers.
 func DefaultILUT() ILUTOptions { return ILUTOptions{Tau: 1e-3, LFil: 20} }
 
-// intHeap is a min-heap of column indices, used to process L-part entries
-// in ascending column order as fill is created.
+// intHeap is a hand-rolled min-heap of column indices, used to process
+// L-part entries in ascending column order as fill is created. Every
+// stored column is unique (membership is guarded by the inRow mask), so
+// the pop sequence is the ascending order of the contents regardless of
+// heap internals — replacing container/heap is bit-neutral while removing
+// the interface boxing from the factorization's hottest loop.
 type intHeap []int
 
-func (h intHeap) Len() int           { return len(h) }
-func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
-func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *intHeap) Push(x any)        { *h = append(*h, x.(int)) }
-func (h *intHeap) Pop() any {
-	old := *h
-	x := old[len(old)-1]
-	*h = old[:len(old)-1]
-	return x
+func (h *intHeap) init() {
+	a := *h
+	for i := len(a)/2 - 1; i >= 0; i-- {
+		siftDownInt(a, i)
+	}
+}
+
+func (h *intHeap) push(x int) {
+	a := append(*h, x)
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if a[p] <= a[i] {
+			break
+		}
+		a[p], a[i] = a[i], a[p]
+		i = p
+	}
+	*h = a
+}
+
+func (h *intHeap) pop() int {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a = a[:n]
+	siftDownInt(a, 0)
+	*h = a
+	return top
+}
+
+func siftDownInt(a []int, i int) {
+	n := len(a)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && a[r] < a[l] {
+			m = r
+		}
+		if a[i] <= a[m] {
+			return
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
 }
 
 // ILUT computes the dual-threshold incomplete factorization of Saad
@@ -61,6 +104,7 @@ func ILUT(a *sparse.CSR, opt ILUTOptions) (*LU, error) {
 	var lCols intHeap        // active columns < i, heap-ordered
 	uCols := make([]int, 0, n)
 	procL := make([]int, 0, n) // kept L columns in elimination order
+	var selL, selU []int       // selectLargest scratch, reused across rows
 
 	for i := 0; i < n; i++ {
 		cols, vals := a.Row(i)
@@ -92,12 +136,12 @@ func ILUT(a *sparse.CSR, opt ILUTOptions) (*LU, error) {
 		}
 		rowNorm /= float64(len(cols))
 		drop := opt.Tau * rowNorm
-		heap.Init(&lCols)
+		lCols.init()
 
 		// Eliminate in ascending column order; L fill-in re-enters the
 		// heap, U fill-in joins uCols.
-		for lCols.Len() > 0 {
-			k := heap.Pop(&lCols).(int)
+		for len(lCols) > 0 {
+			k := lCols.pop()
 			lik := w[k] / m.Val[diag[k]]
 			inRow[k] = false
 			if math.Abs(lik) <= drop {
@@ -118,7 +162,7 @@ func ILUT(a *sparse.CSR, opt ILUTOptions) (*LU, error) {
 				w[j] = -delta
 				inRow[j] = true
 				if j < i {
-					heap.Push(&lCols, j)
+					lCols.push(j)
 				} else {
 					uCols = append(uCols, j)
 				}
@@ -127,8 +171,9 @@ func ILUT(a *sparse.CSR, opt ILUTOptions) (*LU, error) {
 
 		// Select survivors: largest |·| up to lfil in each part, dropping
 		// small entries; diagonal always kept.
-		lSel := selectLargest(procL, w, drop, lfil, -1)
-		uSel := selectLargest(uCols, w, drop, lfil, i)
+		selL = selectLargest(selL, procL, w, drop, lfil, -1)
+		selU = selectLargest(selU, uCols, w, drop, lfil, i)
+		lSel, uSel := selL, selU
 
 		sort.Ints(lSel)
 		sort.Ints(uSel)
@@ -160,14 +205,17 @@ func ILUT(a *sparse.CSR, opt ILUTOptions) (*LU, error) {
 		// Dropped L columns already cleared inRow; their w entries are
 		// stale but only reachable via inRow, which is false.
 	}
+	f.prepLevels()
 	return f, nil
 }
 
 // selectLargest returns up to limit columns with the largest |w| values,
 // excluding entries ≤ drop; the column `always` (the diagonal) is kept
-// unconditionally and does not count against the limit.
-func selectLargest(cand []int, w []float64, drop float64, limit, always int) []int {
-	kept := make([]int, 0, len(cand))
+// unconditionally and does not count against the limit. The result is
+// built in dst's storage (dst[:0] semantics), so callers can reuse one
+// scratch buffer per part across all rows of a factorization.
+func selectLargest(dst, cand []int, w []float64, drop float64, limit, always int) []int {
+	kept := dst[:0]
 	for _, j := range cand {
 		if j == always || math.Abs(w[j]) > drop {
 			kept = append(kept, j)

@@ -1,7 +1,6 @@
 package ilu
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -17,19 +16,31 @@ type PivLU struct {
 	Perm sparse.Perm // Perm[k] = original column at permuted position k
 	// Swaps counts the pivoting swaps performed (0 ⇒ identical to ILUT).
 	Swaps int
+
+	// tmp holds the pre-permutation solution between the factor solve and
+	// the scatter. Pooling it makes Solve allocation-free, at the price of
+	// a contract every current caller already satisfies: one PivLU must
+	// not be applied concurrently from multiple goroutines (each rank's
+	// preconditioner owns its own instance).
+	tmp []float64
 }
 
 // Solve computes x with A·x = b (approximately): x = Qᵀ·U⁻¹·L⁻¹·b.
 func (p *PivLU) Solve(x, b []float64) {
 	n := p.LU.N()
-	tmp := make([]float64, n)
+	if cap(p.tmp) < n {
+		p.tmp = make([]float64, n)
+	}
+	tmp := p.tmp[:n]
 	p.LU.Solve(tmp, b)
 	for k := 0; k < n; k++ {
 		x[p.Perm[k]] = tmp[k]
 	}
 }
 
-// SolveFlops returns the flop count of one Solve.
+// SolveFlops returns the flop count of one Solve: the factor application
+// (see LU.SolveFlops); the permutation scatter moves data but performs no
+// arithmetic.
 func (p *PivLU) SolveFlops() float64 { return p.LU.SolveFlops() }
 
 // ILUTPOptions extends ILUT with the pivoting tolerance: at step i the
@@ -70,6 +81,7 @@ func ILUTP(a *sparse.CSR, opt ILUTPOptions) (*PivLU, error) {
 	lCols.iperm = iperm
 	uCols := make([]int, 0, n)
 	procL := make([]int, 0, n) // kept L columns (original ids), elimination order
+	var selL, selU []int       // selectLargest scratch, reused across rows
 
 	for i := 0; i < n; i++ {
 		cols, vals := a.Row(i)
@@ -92,11 +104,11 @@ func ILUTP(a *sparse.CSR, opt ILUTPOptions) (*PivLU, error) {
 		}
 		rowNorm /= float64(len(cols))
 		drop := opt.Tau * rowNorm
-		heap.Init(&lCols)
+		lCols.init()
 
-		for lCols.Len() > 0 {
-			j := heap.Pop(&lCols).(int) // original column, smallest permuted pos
-			k := iperm[j]               // pivot row
+		for len(lCols.cols) > 0 {
+			j := lCols.pop() // original column, smallest permuted pos
+			k := iperm[j]    // pivot row
 			lik := w[j] / m.Val[diag[k]]
 			inRow[j] = false
 			if math.Abs(lik) <= drop {
@@ -114,7 +126,7 @@ func ILUTP(a *sparse.CSR, opt ILUTPOptions) (*PivLU, error) {
 				w[jj] = -delta
 				inRow[jj] = true
 				if iperm[jj] < i {
-					heap.Push(&lCols, jj)
+					lCols.push(jj)
 				} else {
 					uCols = append(uCols, jj)
 				}
@@ -147,8 +159,9 @@ func ILUTP(a *sparse.CSR, opt ILUTPOptions) (*PivLU, error) {
 			}
 		}
 
-		lSel := selectLargest(procL, w, drop, lfil, -1)
-		uSel := selectLargest(uCols, w, drop, lfil, dcol)
+		selL = selectLargest(selL, procL, w, drop, lfil, -1)
+		selU = selectLargest(selU, uCols, w, drop, lfil, dcol)
+		lSel, uSel := selL, selU
 		// Store in permuted order; remap to permuted indices after the
 		// factorization completes (iperm still changes for columns ≥ i).
 		sort.Slice(lSel, func(x, y int) bool { return iperm[lSel[x]] < iperm[lSel[y]] })
@@ -199,6 +212,7 @@ func ILUTP(a *sparse.CSR, opt ILUTPOptions) (*PivLU, error) {
 			return nil, fmt.Errorf("ilu: ILUTP internal error: row %d pivot at column %d", i, m.ColIdx[diag[i]])
 		}
 	}
+	out.LU.prepLevels()
 	return out, nil
 }
 
@@ -214,19 +228,63 @@ func sortRowAligned(cols []int, vals []float64) {
 	}
 }
 
-// permHeap orders original column ids by their permuted positions.
+// permHeap is a hand-rolled min-heap of original column ids keyed by
+// their permuted positions. As with intHeap, the stored columns are
+// unique and pop in strictly ascending key order, so the switch from
+// container/heap is bit-neutral while avoiding the interface boxing.
 type permHeap struct {
 	cols  []int
 	iperm sparse.Perm
 }
 
-func (h *permHeap) Len() int           { return len(h.cols) }
-func (h *permHeap) Less(i, j int) bool { return h.iperm[h.cols[i]] < h.iperm[h.cols[j]] }
-func (h *permHeap) Swap(i, j int)      { h.cols[i], h.cols[j] = h.cols[j], h.cols[i] }
-func (h *permHeap) Push(x any)         { h.cols = append(h.cols, x.(int)) }
-func (h *permHeap) Pop() any {
-	old := h.cols
-	x := old[len(old)-1]
-	h.cols = old[:len(old)-1]
-	return x
+func (h *permHeap) init() {
+	for i := len(h.cols)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *permHeap) push(x int) {
+	a := append(h.cols, x)
+	key := h.iperm
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if key[a[p]] <= key[a[i]] {
+			break
+		}
+		a[p], a[i] = a[i], a[p]
+		i = p
+	}
+	h.cols = a
+}
+
+func (h *permHeap) pop() int {
+	a := h.cols
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	h.cols = a[:n]
+	h.siftDown(0)
+	return top
+}
+
+func (h *permHeap) siftDown(i int) {
+	a := h.cols
+	key := h.iperm
+	n := len(a)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && key[a[r]] < key[a[l]] {
+			m = r
+		}
+		if key[a[i]] <= key[a[m]] {
+			return
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
 }

@@ -15,10 +15,14 @@ func CG(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options) Re
 		opt.MaxIters = DefaultOptions().MaxIters
 	}
 	nf := float64(n)
-	r := make([]float64, n)
-	z := make([]float64, n)
-	p := make([]float64, n)
-	ap := make([]float64, n)
+	ws := opt.Work
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	r := ws.vec(&ws.r, n)
+	z := ws.vec(&ws.zVec, n)
+	p := ws.vec(&ws.p, n)
+	ap := ws.vec(&ws.ap, n)
 
 	res := Result{}
 	matvec(r, x)

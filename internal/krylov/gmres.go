@@ -53,6 +53,12 @@ type Options struct {
 	// driver wires this to the rank's dist.Comm span hooks; nil means
 	// tracing is off and costs a single comparison per use.
 	Span func(kind, name string) func()
+
+	// Work, when non-nil, supplies the pooled solver workspace, making
+	// repeated solves allocation-free in steady state (see Workspace for
+	// the sharing contract). nil keeps the historical allocate-per-call
+	// behavior.
+	Work *Workspace
 }
 
 // DefaultOptions mirrors the paper's solver configuration (§4.3):
@@ -114,34 +120,27 @@ func GMRES(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options)
 	}
 
 	// Krylov basis; Z additionally holds the preconditioned vectors for
-	// the flexible variant.
-	V := make([][]float64, m+1)
-	for i := range V {
-		V[i] = make([]float64, n)
+	// the flexible variant. All temporaries come from the workspace; with
+	// none supplied, a per-call one reproduces the old allocation pattern.
+	ws := opt.Work
+	if ws == nil {
+		ws = NewWorkspace()
 	}
+	V := ws.basis(&ws.v, m+1, n)
 	var Z [][]float64
 	if opt.Flexible && precond != nil {
-		Z = make([][]float64, m)
-		for i := range Z {
-			Z[i] = make([]float64, n)
-		}
+		Z = ws.basis(&ws.z, m, n)
 	}
-	H := make([]float64, (m+1)*m) // column-major Hessenberg: H[i+j*(m+1)]
-	cs := make([]float64, m)
-	sn := make([]float64, m)
-	g := make([]float64, m+1)
-	w := make([]float64, n)
-	z := make([]float64, n)
-	r := make([]float64, n)
+	H := ws.vec(&ws.h, (m+1)*m) // column-major Hessenberg: H[i+j*(m+1)]
+	cs := ws.vec(&ws.cs, m)
+	sn := ws.vec(&ws.sn, m)
+	g := ws.vec(&ws.g, m+1)
+	w := ws.vec(&ws.w, n)
+	z := ws.vec(&ws.zVec, n)
+	r := ws.vec(&ws.r, n)
+	yBuf := ws.vec(&ws.y, m)
 
 	res := Result{}
-	norm := func(v []float64) float64 {
-		d := dot(v, v)
-		if d < 0 {
-			d = 0
-		}
-		return math.Sqrt(d)
-	}
 
 	totalIters := 0
 	var ref float64
@@ -156,7 +155,7 @@ func GMRES(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options)
 			r[i] = b[i] - r[i]
 		}
 		opt.charge(nf)
-		beta := norm(r)
+		beta := dotNorm(dot, r)
 		if !finite(beta) {
 			res.Breakdown = true
 			res.Err = breakdownErr(method, totalIters, "residual norm", beta)
@@ -221,7 +220,7 @@ func GMRES(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options)
 				sparse.Axpy(-h, V[i], w)
 				opt.charge(2 * nf)
 			}
-			hn := norm(w)
+			hn := dotNorm(dot, w)
 			endOrth()
 			if !finite(hn) {
 				// A NaN anywhere in the new basis vector (poisoned operator
@@ -279,8 +278,9 @@ func GMRES(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options)
 			}
 		}
 
-		// Solve the j×j triangular system H·y = g.
-		y := make([]float64, j)
+		// Solve the j×j triangular system H·y = g. yBuf is fully written
+		// before it is read, so reuse across cycles is safe.
+		y := yBuf[:j]
 		for i := j - 1; i >= 0; i-- {
 			s := g[i]
 			for k := i + 1; k < j; k++ {
@@ -322,7 +322,7 @@ func GMRES(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options)
 			for i := range r {
 				r[i] = b[i] - r[i]
 			}
-			res.Final = norm(r)
+			res.Final = dotNorm(dot, r)
 			res.Converged = res.Final <= opt.Tol*ref
 			if res.Converged {
 				res.Err = nil

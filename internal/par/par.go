@@ -56,6 +56,14 @@ func workersFromEnv(getenv func(string) string, def int) int {
 // Workers returns the current worker count (always ≥ 1).
 func Workers() int { return int(workers.Load()) }
 
+// HaveParallelism reports whether fanning work out to goroutines can run
+// on more than one CPU at all. On a single-P process (GOMAXPROCS=1) every
+// parallel region would just time-slice one core while paying the spawn
+// and synchronization overhead, so the helpers below stay inline there —
+// an adaptive fallback, not a semantic switch: all helpers produce
+// bit-identical results at any worker count by construction.
+func HaveParallelism() bool { return runtime.GOMAXPROCS(0) > 1 }
+
 // SetWorkers sets the worker count for all subsequent parallel regions and
 // returns the previous value. Counts below 1 are clamped to 1 (serial).
 // It is safe to call concurrently; in-flight regions keep the count they
@@ -82,7 +90,7 @@ func For(n, grain int, body func(lo, hi int)) {
 	if maxW := (n + grain - 1) / grain; w > maxW {
 		w = maxW
 	}
-	if w <= 1 {
+	if w <= 1 || !HaveParallelism() {
 		body(0, n)
 		return
 	}
@@ -115,9 +123,11 @@ func ForSegments(bounds []int, body func(lo, hi int)) {
 				"par: ForSegments bounds not non-decreasing at %d: %d > %d", s, bounds[s], bounds[s+1])
 		}
 	}
-	if segs == 1 {
-		if bounds[0] < bounds[1] {
-			body(bounds[0], bounds[1])
+	if segs == 1 || !HaveParallelism() {
+		for s := 0; s < segs; s++ {
+			if bounds[s] < bounds[s+1] {
+				body(bounds[s], bounds[s+1])
+			}
 		}
 		return
 	}
@@ -152,7 +162,7 @@ func Run(tasks int, body func(t int)) {
 	if w > tasks {
 		w = tasks
 	}
-	if w <= 1 {
+	if w <= 1 || !HaveParallelism() {
 		for t := 0; t < tasks; t++ {
 			body(t)
 		}
@@ -209,7 +219,7 @@ func SumBlocks(n int, block func(lo, hi int) float64) float64 {
 	case 1:
 		return block(0, n)
 	}
-	if Workers() == 1 {
+	if Workers() == 1 || !HaveParallelism() {
 		var s float64
 		for b := 0; b < nb; b++ {
 			lo := b * BlockSize

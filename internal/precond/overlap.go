@@ -142,7 +142,8 @@ func BuildOverlapBlocks(a *sparse.CSR, part []int, systems []*dsys.System, opt O
 				send[t] = l
 			}
 			ob.haloIn = append(ob.haloIn, haloPeer{rank: q, recvIdx: extIdx})
-			all[q].haloOut = append(all[q].haloOut, haloPeer{rank: r, sendIdx: send})
+			all[q].haloOut = append(all[q].haloOut, haloPeer{rank: r, sendIdx: send,
+				buf: make([]float64, len(send))})
 		}
 	}
 	return all, nil
@@ -157,11 +158,10 @@ func (p *OverlapBlock) Apply(c *dist.Comm, z, r []float64) {
 		p.rExt[i] = 0
 	}
 	for _, hp := range p.haloOut {
-		buf := make([]float64, len(hp.sendIdx))
 		for t, l := range hp.sendIdx {
-			buf[t] = r[l]
+			hp.buf[t] = r[l]
 		}
-		c.Send(hp.rank, tagOverlapR, buf)
+		c.Send(hp.rank, tagOverlapR, hp.buf)
 	}
 	for _, hp := range p.haloIn {
 		got := c.Recv(hp.rank, tagOverlapR)

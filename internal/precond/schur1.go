@@ -58,6 +58,12 @@ type Schur1 struct {
 
 	// scratch
 	y, gp, fTmp, uTmp []float64
+	// Pooled solver workspaces: every Apply runs two inner B-solves and a
+	// short Schur GMRES, which without pooling rebuilt their Krylov bases
+	// on each outer iteration. One workspace per inner solver keeps the
+	// shapes stable; Apply is per-rank sequential, so neither is ever
+	// shared by concurrent solves.
+	wsB, wsS *krylov.Workspace
 }
 
 // NewSchur1 builds the Schur 1 preconditioner for this rank's subdomain.
@@ -91,6 +97,8 @@ func NewSchur1(s *dsys.System, opts Schur1Options) (*Schur1, error) {
 		gp:    make([]float64, s.NIface()),
 		fTmp:  make([]float64, s.NInt),
 		uTmp:  make([]float64, s.NInt),
+		wsB:   krylov.NewWorkspace(),
+		wsS:   krylov.NewWorkspace(),
 	}
 	return p, nil
 }
@@ -117,6 +125,7 @@ func (p *Schur1) bSolve(c *dist.Comm, out, in []float64) {
 		MaxIters: p.opts.InnerIters,
 		Tol:      p.opts.InnerTol,
 		Compute:  c.Compute,
+		Work:     p.wsB,
 	})
 }
 
@@ -153,6 +162,7 @@ func (p *Schur1) Apply(c *dist.Comm, z, r []float64) {
 			MaxIters: p.opts.SchurIters,
 			Tol:      p.opts.SchurTol,
 			Compute:  c.Compute,
+			Work:     p.wsS,
 		})
 
 	// Step 3: u = B̃⁻¹·(f − F·y).

@@ -56,6 +56,7 @@ type Schur2 struct {
 
 	// scratch
 	work, y, gp, uG, fTmp []float64
+	ws                    *krylov.Workspace // pooled Schur-GMRES workspace
 }
 
 // NewSchur2 builds the Schur 2 preconditioner for this rank's subdomain.
@@ -207,6 +208,7 @@ func (p *Schur2) finish(sExp *sparse.CSR, opts Schur2Options) (*Schur2, error) {
 	p.gp = make([]float64, p.nExp)
 	p.uG = make([]float64, p.nG)
 	p.fTmp = make([]float64, p.nG)
+	p.ws = krylov.NewWorkspace()
 	return p, nil
 }
 
@@ -247,6 +249,7 @@ func (p *Schur2) Apply(c *dist.Comm, z, r []float64) {
 			MaxIters: p.opts.SchurIters,
 			Tol:      p.opts.SchurTol,
 			Compute:  c.Compute,
+			Work:     p.ws,
 		})
 
 	// Step 3: back substitution — u_G = B⁻¹·(r_G − F·y).

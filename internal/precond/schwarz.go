@@ -77,6 +77,7 @@ type Schwarz struct {
 
 	// scratch
 	rBox, wBox, zOwn []float64
+	ws               *krylov.Workspace // pooled subdomain-CG workspace
 }
 
 type haloPeer struct {
@@ -86,6 +87,10 @@ type haloPeer struct {
 	// For haloOut: our owned-local indices to send / to accumulate into.
 	sendIdx []int // indices into the peer-facing payload source
 	recvIdx []int // indices into the local destination
+	// buf is the pooled send payload, sized at wiring time. dist.Comm.Send
+	// copies the data, so reusing one buffer per peer across applies is
+	// safe.
+	buf []float64
 }
 
 type coarseGrid struct {
@@ -96,6 +101,8 @@ type coarseGrid struct {
 	// with bilinear weights.
 	idx [][4]int
 	wgt [][4]float64
+	// pooled restriction / coarse-solution scratch.
+	rc, zc []float64
 }
 
 const (
@@ -162,6 +169,7 @@ func NewSchwarz(s *dsys.System, a *sparse.CSR, opt SchwarzOptions) (*Schwarz, er
 	p.rBox = make([]float64, len(p.boxNodes))
 	p.wBox = make([]float64, len(p.boxNodes))
 	p.zOwn = make([]float64, s.NLoc())
+	p.ws = krylov.NewWorkspace()
 
 	if opt.CoarseM >= 3 {
 		cg, err := buildCoarse(s, m, opt.CoarseM)
@@ -222,8 +230,10 @@ func WireHalo(all []*Schwarz) error {
 			}
 			// r receives from q (haloIn on r), and q must send to r and
 			// later accumulate corrections (haloOut on q).
-			sw.haloIn = append(sw.haloIn, haloPeer{rank: q, recvIdx: boxIdx})
-			peer.haloOut = append(peer.haloOut, haloPeer{rank: r, sendIdx: send, recvIdx: send})
+			sw.haloIn = append(sw.haloIn, haloPeer{rank: q, recvIdx: boxIdx,
+				buf: make([]float64, len(boxIdx))})
+			peer.haloOut = append(peer.haloOut, haloPeer{rank: r, sendIdx: send, recvIdx: send,
+				buf: make([]float64, len(send))})
 		}
 	}
 	_ = p
@@ -246,7 +256,8 @@ func buildCoarse(s *dsys.System, m, cm int) (*coarseGrid, error) {
 	if err != nil {
 		return nil, fmt.Errorf("precond: coarse factor: %w", err)
 	}
-	cg := &coarseGrid{m: cm, lu: lu, isBdry: onB}
+	cg := &coarseGrid{m: cm, lu: lu, isBdry: onB,
+		rc: make([]float64, cm*cm), zc: make([]float64, cm*cm)}
 	// Bilinear interpolation weights for each owned fine node.
 	h := 1 / float64(m-1)
 	hc := 1 / float64(cm-1)
@@ -278,11 +289,10 @@ func (p *Schwarz) Apply(c *dist.Comm, z, r []float64) {
 		p.rBox[k] = r[l]
 	}
 	for _, hp := range p.haloOut {
-		buf := make([]float64, len(hp.sendIdx))
 		for t, l := range hp.sendIdx {
-			buf[t] = r[l]
+			hp.buf[t] = r[l]
 		}
-		c.Send(hp.rank, tagHaloR, buf)
+		c.Send(hp.rank, tagHaloR, hp.buf)
 	}
 	for _, hp := range p.haloIn {
 		got := c.Recv(hp.rank, tagHaloR)
@@ -308,7 +318,7 @@ func (p *Schwarz) Apply(c *dist.Comm, z, r []float64) {
 			c.Compute(20 * nf) // ≈ 2·N·log N for the DST pair at these sizes
 		},
 		sparse.Dot, p.rBox, p.wBox,
-		krylov.Options{MaxIters: 1, Tol: 0, Compute: c.Compute})
+		krylov.Options{MaxIters: 1, Tol: 0, Compute: c.Compute, Work: p.ws})
 
 	// 3. Scatter-add corrections: own part directly, overlap parts back
 	// to their owners.
@@ -316,11 +326,10 @@ func (p *Schwarz) Apply(c *dist.Comm, z, r []float64) {
 		p.zOwn[l] = p.wBox[k]
 	}
 	for _, hp := range p.haloIn {
-		buf := make([]float64, len(hp.recvIdx))
 		for t, k := range hp.recvIdx {
-			buf[t] = p.wBox[k]
+			hp.buf[t] = p.wBox[k]
 		}
-		c.Send(hp.rank, tagHaloZ, buf)
+		c.Send(hp.rank, tagHaloZ, hp.buf)
 	}
 	for _, hp := range p.haloOut {
 		got := c.Recv(hp.rank, tagHaloZ)
@@ -333,7 +342,10 @@ func (p *Schwarz) Apply(c *dist.Comm, z, r []float64) {
 	if p.coarse != nil {
 		cg := p.coarse
 		nC := cg.m * cg.m
-		rc := make([]float64, nC)
+		rc := cg.rc
+		for i := range rc {
+			rc[i] = 0
+		}
 		for l := range p.ownedPos {
 			for t := 0; t < 4; t++ {
 				rc[cg.idx[l][t]] += cg.wgt[l][t] * r[l]
@@ -346,7 +358,8 @@ func (p *Schwarz) Apply(c *dist.Comm, z, r []float64) {
 				rc[i] = 0
 			}
 		}
-		zc := cg.lu.Solve(rc)
+		zc := cg.zc
+		cg.lu.SolveTo(zc, rc)
 		c.Compute(2 * float64(nC) * float64(nC))
 		for l := range p.ownedPos {
 			var v float64

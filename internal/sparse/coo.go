@@ -49,13 +49,24 @@ type ent struct {
 	val float64
 }
 
+// entsByCol sorts row entries by column through a concrete sort.Interface:
+// sort.Sort runs the same pdqsort as sort.Slice over the same comparisons
+// (so equal-column entries land in the same deterministic order and the
+// duplicate sums below keep their bits), but without the reflect-based
+// swapper that dominated assembly-heavy profiles.
+type entsByCol []ent
+
+func (e entsByCol) Len() int           { return len(e) }
+func (e entsByCol) Less(i, j int) bool { return e[i].col < e[j].col }
+func (e entsByCol) Swap(i, j int)      { e[i], e[j] = e[j], e[i] }
+
 // mergeRow sorts buf by column and appends the duplicate-summed entries to
 // (cols, vals). Duplicates are summed in their post-sort order; since the
 // sort and the input sequence are deterministic, so is the result. Both
 // the serial and the parallel ToCSR paths normalize every row through this
 // one helper, which is what makes them bit-identical.
 func mergeRow(buf []ent, cols []int, vals []float64) ([]int, []float64) {
-	sort.Slice(buf, func(x, y int) bool { return buf[x].col < buf[y].col })
+	sort.Sort(entsByCol(buf))
 	for k := 0; k < len(buf); {
 		j := buf[k].col
 		var s float64

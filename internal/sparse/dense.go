@@ -111,11 +111,18 @@ func (d *Dense) Factor() (*LU, error) {
 // Solve solves A·x = b in place of a fresh slice, where A is the factored
 // matrix.
 func (f *LU) Solve(b []float64) []float64 {
+	x := make([]float64, f.n)
+	f.SolveTo(x, b)
+	return x
+}
+
+// SolveTo solves A·x = b into x without allocating. x and b must not
+// alias (the pivot gather reads b while x is written).
+func (f *LU) SolveTo(x, b []float64) {
 	if len(b) != f.n {
 		panic(fmt.Sprintf("sparse: LU.Solve length %d, want %d", len(b), f.n))
 	}
 	n := f.n
-	x := make([]float64, n)
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
 	}
@@ -135,13 +142,6 @@ func (f *LU) Solve(b []float64) []float64 {
 		}
 		x[i] = (x[i] - s) / f.lu[i*n+i]
 	}
-	return x
-}
-
-// SolveTo solves A·x = b into x without allocating beyond the receiver.
-func (f *LU) SolveTo(x, b []float64) {
-	tmp := f.Solve(b)
-	copy(x, tmp)
 }
 
 // Det returns the determinant of the factored matrix.
