@@ -3,15 +3,34 @@
 // a source importer) so it needs no tool dependencies beyond the Go
 // toolchain itself.
 //
+// Two analyzer suites run:
+//
+//   - the syntactic per-package suite (floatcmp, determinism, dimguard,
+//     sharedwrite, errdrop), on every tag set;
+//   - the interprocedural program suite (detaint, allocfree, errtype,
+//     waitleak), on the default tag set only — the paranoid debugging
+//     build deliberately allocates for its invariant checks and is
+//     outside the steady-state contracts the program suite proves.
+//
 // Usage:
 //
 //	go run ./cmd/parapre-lint ./...
 //	go run ./cmd/parapre-lint -tags paranoid ./internal/sparse ./internal/krylov
+//	go run ./cmd/parapre-lint -json ./...
+//	go run ./cmd/parapre-lint -write-baseline ./...
 //	go run ./cmd/parapre-lint -list
 //
-// Exit status is 0 when no diagnostics are reported, 1 when at least one
-// is, and 2 on usage or load errors. Findings that are intentional are
-// suppressed in source with a documented directive:
+// Findings are gated against the committed baseline (lint-baseline.json
+// at the module root, override with -baseline): findings the baseline
+// does not cover are NEW and fail the run; baseline entries whose
+// finding is gone are STALE and also fail the run, prompting a
+// -write-baseline regeneration so the baseline only ever shrinks.
+// Stale //lint:ignore directives that suppress nothing are reported as
+// unusedignore findings by the same run.
+//
+// Exit status is 0 when the run is clean against the baseline, 1 when it
+// is not, and 2 on usage or load errors. Findings that are intentional
+// are suppressed in source with a documented directive:
 //
 //	//lint:ignore <analyzer>[,<analyzer>] <reason>
 //
@@ -19,9 +38,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"parapre/internal/lint"
@@ -34,10 +55,13 @@ func main() {
 func run(argv []string) int {
 	fs := flag.NewFlagSet("parapre-lint", flag.ContinueOnError)
 	var (
-		tags    = fs.String("tags", "", "comma-separated build tags to enable (e.g. paranoid)")
-		list    = fs.Bool("list", false, "list analyzers and exit")
-		only    = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
-		verbose = fs.Bool("v", false, "print each package as it is checked")
+		tags      = fs.String("tags", "", "comma-separated build tags to enable (e.g. paranoid)")
+		list      = fs.Bool("list", false, "list analyzers and exit")
+		only      = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+		verbose   = fs.Bool("v", false, "print each package as it is checked")
+		jsonOut   = fs.Bool("json", false, "emit findings and the baseline diff as JSON on stdout")
+		baseline  = fs.String("baseline", "", "baseline file to gate against (default: <module>/lint-baseline.json)")
+		writeBase = fs.Bool("write-baseline", false, "regenerate the baseline from this run's findings and exit")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: parapre-lint [flags] <packages>\n\n")
@@ -50,15 +74,19 @@ func run(argv []string) int {
 	}
 
 	analyzers := lint.All()
+	progAnalyzers := lint.AllProgram()
 	if *list {
 		for _, a := range analyzers {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
+		for _, a := range progAnalyzers {
+			fmt.Printf("%-12s %s (interprocedural)\n", a.Name, a.Doc)
+		}
 		return 0
 	}
 	if *only != "" {
-		analyzers = selectAnalyzers(analyzers, *only)
-		if analyzers == nil {
+		analyzers, progAnalyzers = selectAnalyzers(*only)
+		if analyzers == nil && progAnalyzers == nil {
 			fmt.Fprintf(os.Stderr, "parapre-lint: unknown analyzer in -only=%s\n", *only)
 			return 2
 		}
@@ -75,9 +103,11 @@ func run(argv []string) int {
 		fmt.Fprintf(os.Stderr, "parapre-lint: %v\n", err)
 		return 2
 	}
+	defaultTags := true
 	for _, t := range strings.Split(*tags, ",") {
 		if t = strings.TrimSpace(t); t != "" {
 			loader.Tags[t] = true
+			defaultTags = false
 		}
 	}
 
@@ -91,7 +121,8 @@ func run(argv []string) int {
 		return 2
 	}
 
-	failed := false
+	var pkgs []*lint.Package
+	targetDirs := map[string]bool{}
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir)
 		if err != nil {
@@ -101,29 +132,122 @@ func run(argv []string) int {
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "checking %s\n", pkg.Path)
 		}
-		for _, d := range lint.RunPackage(pkg, analyzers) {
-			failed = true
-			fmt.Println(d)
+		pkgs = append(pkgs, pkg)
+		targetDirs[pkg.Dir] = true
+	}
+
+	// One shared suppression index across every loaded package (targets
+	// plus module-internal dependencies): interprocedural findings can
+	// land in dependency files, and their directives must be honored.
+	ig, diags := lint.CollectIgnores(loader.Loaded(), lint.KnownAnalyzerNames())
+
+	ranAnalyzers := map[string]bool{"lint": true}
+	for _, p := range pkgs {
+		diags = append(diags, lint.RunPackageWith(p, analyzers, ig)...)
+	}
+	for _, a := range analyzers {
+		ranAnalyzers[a.Name] = true
+	}
+
+	// The interprocedural suite runs on the default build only: its
+	// contracts (zero steady-state allocation, pruned paranoid paths)
+	// are stated for the untagged binary.
+	if defaultTags && len(progAnalyzers) > 0 {
+		prog := lint.NewProgram(loader.Loaded())
+		diags = append(diags, lint.RunProgram(prog, progAnalyzers, ig)...)
+		for _, a := range progAnalyzers {
+			ranAnalyzers[a.Name] = true
 		}
 	}
-	if failed {
+
+	// Unused-suppression audit: directives in the analyzed target
+	// packages that suppressed nothing, for analyzers that actually ran.
+	inScope := func(file string) bool { return targetDirs[filepath.Dir(file)] }
+	diags = append(diags, ig.Unused(func(name string) bool { return ranAnalyzers[name] }, inScope)...)
+
+	moduleRoot := loader.ModuleRoot
+	basePath := *baseline
+	if basePath == "" {
+		basePath = filepath.Join(moduleRoot, "lint-baseline.json")
+	}
+
+	if *writeBase {
+		if err := lint.WriteBaseline(basePath, moduleRoot, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "parapre-lint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "parapre-lint: wrote %d finding(s) to %s\n", len(diags), basePath)
+		return 0
+	}
+
+	base, err := lint.LoadBaseline(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parapre-lint: %v\n", err)
+		return 2
+	}
+	diff := base.Diff(moduleRoot, diags)
+
+	if *jsonOut {
+		report := struct {
+			Diagnostics []lint.JSONDiagnostic `json:"diagnostics"`
+			New         []lint.JSONDiagnostic `json:"new"`
+			Stale       []lint.BaselineKey    `json:"stale_baseline"`
+		}{
+			Diagnostics: lint.ToJSONDiagnostics(moduleRoot, diags),
+			New:         lint.ToJSONDiagnostics(moduleRoot, diff.New),
+			Stale:       diff.StaleKeys(),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&report); err != nil {
+			fmt.Fprintf(os.Stderr, "parapre-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diff.New {
+			fmt.Println(d)
+		}
+		for _, k := range diff.StaleKeys() {
+			fmt.Printf("%s: [baseline] stale entry [%s] %q: finding is gone; run -write-baseline to shrink the baseline\n",
+				k.File, k.Analyzer, k.Message)
+		}
+	}
+
+	if !diff.Clean() {
+		if len(diff.New) > 0 {
+			fmt.Fprintf(os.Stderr, "parapre-lint: %d new finding(s) not covered by %s\n", len(diff.New), basePath)
+		}
+		if len(diff.Stale) > 0 {
+			fmt.Fprintf(os.Stderr, "parapre-lint: %d stale baseline entr(ies) in %s; regenerate with -write-baseline\n", len(diff.Stale), basePath)
+		}
 		return 1
 	}
 	return 0
 }
 
-func selectAnalyzers(all []*lint.Analyzer, names string) []*lint.Analyzer {
+// selectAnalyzers resolves -only names across both suites. It returns
+// (nil, nil) when any name is unknown.
+func selectAnalyzers(names string) ([]*lint.Analyzer, []*lint.ProgramAnalyzer) {
 	byName := map[string]*lint.Analyzer{}
-	for _, a := range all {
+	for _, a := range lint.All() {
 		byName[a.Name] = a
 	}
-	var out []*lint.Analyzer
-	for _, n := range strings.Split(names, ",") {
-		a := byName[strings.TrimSpace(n)]
-		if a == nil {
-			return nil
-		}
-		out = append(out, a)
+	progByName := map[string]*lint.ProgramAnalyzer{}
+	for _, a := range lint.AllProgram() {
+		progByName[a.Name] = a
 	}
-	return out
+	var out []*lint.Analyzer
+	var progOut []*lint.ProgramAnalyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		switch {
+		case byName[n] != nil:
+			out = append(out, byName[n])
+		case progByName[n] != nil:
+			progOut = append(progOut, progByName[n])
+		default:
+			return nil, nil
+		}
+	}
+	return out, progOut
 }

@@ -519,11 +519,11 @@ func MaxClock(stats []Stats) float64 {
 // surface as errors instead of poisoned timings.
 func MaxClockErr(stats []Stats) (float64, error) {
 	if len(stats) == 0 {
-		return 0, fmt.Errorf("dist: MaxClock of empty stats slice")
+		return 0, &StatsError{Index: -1}
 	}
 	for i, s := range stats {
 		if s.Rank != i {
-			return 0, fmt.Errorf("dist: stats[%d] carries rank %d, want %d (misassembled per-rank stats)", i, s.Rank, i)
+			return 0, &StatsError{Index: i, Got: s.Rank}
 		}
 	}
 	return MaxClock(stats), nil

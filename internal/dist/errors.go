@@ -117,6 +117,34 @@ func (e *RankPanicError) Error() string {
 	return fmt.Sprintf("dist: rank %d panicked: %v", e.Rank, e.Value)
 }
 
+// StatsError reports a per-rank Stats slice that does not have the shape
+// every Run/RunOpts result has: nonempty, with ranks 0..len-1 in order.
+// Aggregation helpers return it instead of silently producing poisoned
+// timings from misassembled input.
+type StatsError struct {
+	Index int // offending index; -1 for an empty slice
+	Got   int // rank found at Index (meaningless when Index < 0)
+}
+
+func (e *StatsError) Error() string {
+	if e.Index < 0 {
+		return "dist: aggregation over empty stats slice"
+	}
+	return fmt.Sprintf("dist: stats[%d] carries rank %d, want %d (misassembled per-rank stats)",
+		e.Index, e.Got, e.Index)
+}
+
+// UnknownPlanError reports a fault-plan name that names no built-in
+// chaos plan. Have lists the valid names.
+type UnknownPlanError struct {
+	Name string
+	Have []string
+}
+
+func (e *UnknownPlanError) Error() string {
+	return fmt.Sprintf("dist: unknown fault plan %q (have %v)", e.Name, e.Have)
+}
+
 // abortPanic unwinds a rank goroutine when the world has been aborted
 // (watchdog deadlock, another rank's panic). It never escapes RunOpts.
 type abortPanic struct{}

@@ -1,7 +1,6 @@
 package dist
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -76,7 +75,7 @@ var namedPlans = map[string]func(seed int64) *FaultPlan{
 func NamedFaultPlan(name string, seed int64) (*FaultPlan, error) {
 	mk, ok := namedPlans[name]
 	if !ok {
-		return nil, fmt.Errorf("dist: unknown fault plan %q (have %v)", name, FaultPlanNames())
+		return nil, &UnknownPlanError{Name: name, Have: FaultPlanNames()}
 	}
 	return mk(seed), nil
 }

@@ -1,0 +1,60 @@
+package ilu
+
+import (
+	"testing"
+
+	"parapre/internal/par"
+)
+
+// measureSteadyAllocs pins the pool to one worker (the fan-out's own
+// closures are not part of the solve contract), runs one warm-up call to
+// build the cached level schedules, and measures steady-state allocations.
+func measureSteadyAllocs(t *testing.T, solve func()) float64 {
+	t.Helper()
+	prev := par.SetWorkers(1)
+	defer par.SetWorkers(prev)
+	solve()
+	return testing.AllocsPerRun(10, solve)
+}
+
+// TestLUSolveZeroAllocSteadyState pins the dynamic twin of the static
+// //lint:allocfree proof on the ILU triangular solve.
+//
+// alloctest: (*ilu.LU).Solve
+func TestLUSolveZeroAllocSteadyState(t *testing.T) {
+	a := tridiag(300)
+	f, err := ILU0(a)
+	if err != nil {
+		t.Fatalf("ILU0: %v", err)
+	}
+	n := a.Rows
+	x := make([]float64, n)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	if got := measureSteadyAllocs(t, func() { f.Solve(x, b) }); got != 0 {
+		t.Fatalf("LU.Solve allocates %v objects per steady-state call, want 0", got)
+	}
+}
+
+// TestCholSolveZeroAllocSteadyState pins the dynamic twin of the static
+// //lint:allocfree proof on the incomplete-Cholesky solve.
+//
+// alloctest: (*ilu.Chol).Solve
+func TestCholSolveZeroAllocSteadyState(t *testing.T) {
+	a := tridiag(300)
+	c, err := IC0(a)
+	if err != nil {
+		t.Fatalf("IC0: %v", err)
+	}
+	n := a.Rows
+	z := make([]float64, n)
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = float64(i%5) - 2
+	}
+	if got := measureSteadyAllocs(t, func() { c.Solve(z, r) }); got != 0 {
+		t.Fatalf("Chol.Solve allocates %v objects per steady-state call, want 0", got)
+	}
+}

@@ -37,3 +37,29 @@ func (e *ZeroPivotError) Unwrap() error { return ErrZeroPivot }
 func zeroPivotErr(method string, row int) *ZeroPivotError {
 	return &ZeroPivotError{Method: method, Row: row}
 }
+
+// ErrBadInput is the sentinel all input-validation errors wrap. Callers
+// test for it with errors.Is(err, ilu.ErrBadInput).
+var ErrBadInput = errors.New("ilu: bad input")
+
+// InputError reports a structurally invalid input to a factorization or
+// sub-factorization extraction: a non-square matrix, a row missing its
+// diagonal entry, an out-of-range split point. It wraps ErrBadInput.
+type InputError struct {
+	Op     string // "ILU0", "ILUT", "ILUTP", "IC0", "ExtractTrailing", "ExtractLeading"
+	Detail string
+}
+
+func (e *InputError) Error() string { return fmt.Sprintf("ilu: %s: %s", e.Op, e.Detail) }
+
+// Unwrap makes errors.Is(e, ErrBadInput) true.
+func (e *InputError) Unwrap() error { return ErrBadInput }
+
+// badInputErr builds an input-validation error.
+func badInputErr(op, format string, args ...any) *InputError {
+	return &InputError{Op: op, Detail: fmt.Sprintf(format, args...)}
+}
+
+// ErrInternal is the sentinel for invariant violations detected inside a
+// factorization — a bug in this package, never a property of the input.
+var ErrInternal = errors.New("ilu: internal invariant violated")

@@ -1,7 +1,6 @@
 package ilu
 
 import (
-	"fmt"
 	"math"
 	"sync/atomic"
 
@@ -40,6 +39,8 @@ func (c *Chol) SolveFlops() float64 { return 4 * float64(c.L.NNZ()) }
 // Solve computes z = L⁻ᵀ·L⁻¹·r. z and r may alias. Sweeps run
 // level-scheduled when enabled and profitable, bit-identical to the
 // serial sweeps — see levels.go.
+//
+//lint:allocfree steady state once the level schedule is cached; verified dynamically by TestCholSolveZeroAllocSteadyState
 func (c *Chol) Solve(z, r []float64) {
 	if s := c.sched(); s != nil {
 		c.solveScheduled(z, r, s)
@@ -133,7 +134,7 @@ func (c *Chol) solveScheduled(z, r []float64, s *triSched) {
 // diagonals are repaired (counted in Fixes).
 func IC0(a *sparse.CSR) (*Chol, error) {
 	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("ilu: IC0 of non-square %d×%d matrix", a.Rows, a.Cols)
+		return nil, badInputErr("IC0", "non-square %d×%d matrix", a.Rows, a.Cols)
 	}
 	n := a.Rows
 	l := sparse.NewCSR(n, n, a.NNZ()/2+n)

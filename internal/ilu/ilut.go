@@ -1,7 +1,6 @@
 package ilu
 
 import (
-	"fmt"
 	"math"
 	"sort"
 
@@ -87,7 +86,7 @@ func siftDownInt(a []int, i int) {
 // a complete LU without pivoting.
 func ILUT(a *sparse.CSR, opt ILUTOptions) (*LU, error) {
 	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("ilu: ILUT of non-square %d×%d matrix", a.Rows, a.Cols)
+		return nil, badInputErr("ILUT", "non-square %d×%d matrix", a.Rows, a.Cols)
 	}
 	n := a.Rows
 	lfil := opt.LFil

@@ -58,7 +58,7 @@ type ILUTPOptions struct {
 // blocks — where plain ILUT would need pivot fixes.
 func ILUTP(a *sparse.CSR, opt ILUTPOptions) (*PivLU, error) {
 	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("ilu: ILUTP of non-square %d×%d matrix", a.Rows, a.Cols)
+		return nil, badInputErr("ILUTP", "non-square %d×%d matrix", a.Rows, a.Cols)
 	}
 	n := a.Rows
 	lfil := opt.LFil
@@ -209,7 +209,7 @@ func ILUTP(a *sparse.CSR, opt ILUTPOptions) (*PivLU, error) {
 			}
 		}
 		if m.ColIdx[diag[i]] != i {
-			return nil, fmt.Errorf("ilu: ILUTP internal error: row %d pivot at column %d", i, m.ColIdx[diag[i]])
+			return nil, fmt.Errorf("ilu: ILUTP pivot relocation failed at row %d (found column %d): %w", i, m.ColIdx[diag[i]], ErrInternal)
 		}
 	}
 	out.LU.prepLevels()

@@ -114,6 +114,7 @@ func bucketLevels(lvl []int) levelSet {
 			maxL = l
 		}
 	}
+	//lint:ignore allocfree level schedule is built once per factor and cached (prepLevels/atomic.Pointer)
 	ptr := make([]int, maxL+2)
 	for _, l := range lvl {
 		ptr[l+1]++
@@ -121,7 +122,9 @@ func bucketLevels(lvl []int) levelSet {
 	for l := 0; l <= maxL; l++ {
 		ptr[l+1] += ptr[l]
 	}
+	//lint:ignore allocfree level schedule is built once per factor and cached (prepLevels/atomic.Pointer)
 	rows := make([]int, n)
+	//lint:ignore allocfree level schedule is built once per factor and cached (prepLevels/atomic.Pointer)
 	next := append([]int(nil), ptr[:maxL+1]...)
 	for i, l := range lvl {
 		rows[next[l]] = i
@@ -134,6 +137,7 @@ func bucketLevels(lvl []int) levelSet {
 // sets of a combined LU factor (see LU: columns < i are L, columns > i
 // are U, Diag[i] marks the diagonal).
 func buildLUSched(rp, ci, diag []int, n int) *triSched {
+	//lint:ignore allocfree level schedule is built once per factor and cached (prepLevels/atomic.Pointer)
 	lvl := make([]int, n)
 	for i := 0; i < n; i++ {
 		l := 0
@@ -158,6 +162,7 @@ func buildLUSched(rp, ci, diag []int, n int) *triSched {
 		lvl[i] = l
 	}
 	bwd := bucketLevels(lvl)
+	//lint:ignore allocfree level schedule is built once per factor and cached (prepLevels/atomic.Pointer)
 	return &triSched{fwd: fwd, bwd: bwd}
 }
 
@@ -165,6 +170,7 @@ func buildLUSched(rp, ci, diag []int, n int) *triSched {
 // the forward sweep over L (diagonal last in each row) and the backward
 // sweep over Lᵀ (diagonal first).
 func buildCholSched(lrp, lci, trp, tci []int, n int) *triSched {
+	//lint:ignore allocfree level schedule is built once per factor and cached (prepLevels/atomic.Pointer)
 	lvl := make([]int, n)
 	for i := 0; i < n; i++ {
 		l := 0
@@ -186,6 +192,7 @@ func buildCholSched(lrp, lci, trp, tci []int, n int) *triSched {
 		lvl[i] = l
 	}
 	bwd := bucketLevels(lvl)
+	//lint:ignore allocfree level schedule is built once per factor and cached (prepLevels/atomic.Pointer)
 	return &triSched{fwd: fwd, bwd: bwd}
 }
 

@@ -1,8 +1,6 @@
 package ilu
 
 import (
-	"fmt"
-
 	"parapre/internal/sparse"
 )
 
@@ -16,7 +14,7 @@ import (
 func ExtractTrailing(f *LU, start int) (*LU, error) {
 	n := f.N()
 	if start < 0 || start > n {
-		return nil, fmt.Errorf("ilu: trailing start %d out of [0,%d]", start, n)
+		return nil, badInputErr("ExtractTrailing", "start %d out of [0,%d]", start, n)
 	}
 	sn := n - start
 	m := sparse.NewCSR(sn, sn, 0)
@@ -49,7 +47,7 @@ func ExtractTrailing(f *LU, start int) (*LU, error) {
 func ExtractLeading(f *LU, end int) (*LU, error) {
 	n := f.N()
 	if end < 0 || end > n {
-		return nil, fmt.Errorf("ilu: leading end %d out of [0,%d]", end, n)
+		return nil, badInputErr("ExtractLeading", "end %d out of [0,%d]", end, n)
 	}
 	m := sparse.NewCSR(end, end, 0)
 	diag := make([]int, end)

@@ -32,6 +32,7 @@ func (e *BreakdownError) Unwrap() error { return ErrBreakdown }
 
 // breakdownErr builds the solver-side breakdown record.
 func breakdownErr(method string, iter int, quantity string, value float64) *BreakdownError {
+	//lint:ignore allocfree breakdown is a terminal once-per-solve event, not steady-state
 	return &BreakdownError{Method: method, Iteration: iter, Quantity: quantity, Value: value}
 }
 

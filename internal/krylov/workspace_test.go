@@ -53,6 +53,8 @@ func measureSteadyAllocs(t *testing.T, solve func()) float64 {
 
 // TestGMRESZeroAllocSteadyState pins the tentpole contract: a pooled
 // GMRES solve allocates nothing once its workspace has been sized.
+//
+// alloctest: krylov.GMRES
 func TestGMRESZeroAllocSteadyState(t *testing.T) {
 	n := 200
 	_, b, matvec, dot := allocTestSystem(n)
@@ -71,7 +73,10 @@ func TestGMRESZeroAllocSteadyState(t *testing.T) {
 }
 
 // TestFGMRESZeroAllocSteadyState covers the flexible variant, whose Z
-// basis is the extra pooled store.
+// basis is the extra pooled store (FGMRES is GMRES with opt.Flexible, so
+// it maps to the same annotated function).
+//
+// alloctest: krylov.GMRES
 func TestFGMRESZeroAllocSteadyState(t *testing.T) {
 	n := 200
 	_, b, matvec, dot := allocTestSystem(n)
@@ -91,6 +96,8 @@ func TestFGMRESZeroAllocSteadyState(t *testing.T) {
 }
 
 // TestCGZeroAllocSteadyState covers the CG hot path.
+//
+// alloctest: krylov.CG
 func TestCGZeroAllocSteadyState(t *testing.T) {
 	n := 200
 	_, b, matvec, dot := allocTestSystem(n)

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"bufio"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestAllocFreeAnnotationParity asserts that the static and dynamic
+// zero-allocation proofs cover exactly the same functions: every
+// //lint:allocfree annotation in the module has a testing.AllocsPerRun
+// test claiming it via an
+//
+//	// alloctest: <pkg>.<Func> | (*<pkg>.<Recv>).<Method>
+//
+// marker in its doc comment, and every marker names an annotated
+// function. An annotation without a test is an unverified claim; a
+// marker without an annotation is a test whose static twin was deleted.
+func TestAllocFreeAnnotationParity(t *testing.T) {
+	l := newTestLoader(t)
+
+	annotated := map[string]string{} // display name → file:line
+	tested := map[string]string{}
+
+	err := filepath.WalkDir(l.ModuleRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != l.ModuleRoot && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		switch {
+		case strings.HasSuffix(d.Name(), "_test.go"):
+			return scanAllocTestMarkers(path, tested)
+		case strings.HasSuffix(d.Name(), ".go"):
+			return scanAllocFreeAnnotations(path, annotated)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(annotated) == 0 {
+		t.Fatalf("no //lint:allocfree annotations found in the module")
+	}
+
+	for _, name := range sortedKeys(annotated) {
+		if _, ok := tested[name]; !ok {
+			t.Errorf("%s: //lint:allocfree %s has no AllocsPerRun test (add an `// alloctest: %s` marker to one)",
+				annotated[name], name, name)
+		}
+	}
+	for _, name := range sortedKeys(tested) {
+		if _, ok := annotated[name]; !ok {
+			t.Errorf("%s: alloctest marker %s names no //lint:allocfree function (annotate it or drop the marker)",
+				tested[name], name)
+		}
+	}
+}
+
+// scanAllocFreeAnnotations parses one source file (syntax only) and
+// records the display names of //lint:allocfree-annotated declarations.
+func scanAllocFreeAnnotations(path string, out map[string]string) error {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return err
+	}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || !directiveOnDecl(fd, "allocfree") {
+			continue
+		}
+		pos := fset.Position(fd.Pos())
+		out[declDisplayName(f.Name.Name, fd)] = pos.Filename + ":" + itoa(pos.Line)
+	}
+	return nil
+}
+
+// declDisplayName renders a declaration as pkg.Func or
+// (*pkg.Recv).Method — the marker syntax, with the package LEAF name
+// (not the import path) for readability.
+func declDisplayName(pkgName string, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return pkgName + "." + fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	star := ""
+	if se, ok := recv.(*ast.StarExpr); ok {
+		star = "*"
+		recv = se.X
+	}
+	base := "?"
+	if id, ok := recv.(*ast.Ident); ok {
+		base = id.Name
+	}
+	return "(" + star + pkgName + "." + base + ")." + fd.Name.Name
+}
+
+// scanAllocTestMarkers records `// alloctest: <name>` lines of one test
+// file.
+func scanAllocTestMarkers(path string, out map[string]string) error {
+	fh, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	sc := bufio.NewScanner(fh)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if name, ok := strings.CutPrefix(text, "// alloctest: "); ok {
+			out[strings.TrimSpace(name)] = path + ":" + itoa(line)
+		}
+	}
+	return sc.Err()
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Lint baseline: the committed ledger of known findings, keyed by
+// (analyzer, module-relative file, message) with a count. The key
+// deliberately omits line numbers so unrelated edits that shift code do
+// not churn the file; two identical findings in one file are the same
+// key counted twice.
+//
+// The gate is two-sided. A finding not covered by the baseline is NEW
+// and fails the run — the codebase cannot regress. A baseline entry with
+// no matching finding is STALE and also fails the run, prompting a
+// -write-baseline regeneration — the baseline can only shrink, never
+// silently hoard fixed findings.
+
+// BaselineKey identifies one kind of finding at one file.
+type BaselineKey struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // module-relative, slash-separated
+	Message  string `json:"message"`
+}
+
+// Baseline is the parsed committed baseline.
+type Baseline struct {
+	Entries map[BaselineKey]int
+}
+
+// baselineFile is the on-disk JSON shape.
+type baselineFile struct {
+	Version  int             `json:"version"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+type baselineEntry struct {
+	BaselineKey
+	Count int `json:"count"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline (every finding is new), not an error.
+func LoadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{Entries: map[BaselineKey]int{}}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return b, nil
+		}
+		return nil, err
+	}
+	var f baselineFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %v", path, err)
+	}
+	if f.Version != 1 {
+		return nil, fmt.Errorf("lint: baseline %s has unsupported version %d", path, f.Version)
+	}
+	for _, e := range f.Findings {
+		if e.Count <= 0 {
+			e.Count = 1
+		}
+		b.Entries[e.BaselineKey] += e.Count
+	}
+	return b, nil
+}
+
+// WriteBaseline writes the findings as a fresh baseline, sorted for
+// stable diffs.
+func WriteBaseline(path, moduleRoot string, diags []Diagnostic) error {
+	counts := map[BaselineKey]int{}
+	for _, d := range diags {
+		counts[baselineKeyOf(moduleRoot, d)]++
+	}
+	keys := make([]BaselineKey, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	f := baselineFile{Version: 1}
+	for _, k := range keys {
+		f.Findings = append(f.Findings, baselineEntry{BaselineKey: k, Count: counts[k]})
+	}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// BaselineDiff is the two-sided comparison of a run against a baseline.
+type BaselineDiff struct {
+	// New holds findings not absorbed by the baseline: regressions.
+	New []Diagnostic
+	// Stale holds baseline entries (with their unmatched residual count)
+	// whose findings are gone: the baseline must be regenerated.
+	Stale map[BaselineKey]int
+}
+
+// Clean reports whether the run matches the baseline exactly.
+func (d *BaselineDiff) Clean() bool { return len(d.New) == 0 && len(d.Stale) == 0 }
+
+// Diff compares findings against the baseline.
+func (b *Baseline) Diff(moduleRoot string, diags []Diagnostic) *BaselineDiff {
+	remaining := make(map[BaselineKey]int, len(b.Entries))
+	for k, n := range b.Entries {
+		remaining[k] = n
+	}
+	out := &BaselineDiff{Stale: map[BaselineKey]int{}}
+	for _, d := range diags {
+		k := baselineKeyOf(moduleRoot, d)
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		out.New = append(out.New, d)
+	}
+	for k, n := range remaining {
+		if n > 0 {
+			out.Stale[k] = n
+		}
+	}
+	return out
+}
+
+// StaleKeys returns the stale entries in deterministic order.
+func (d *BaselineDiff) StaleKeys() []BaselineKey {
+	keys := make([]BaselineKey, 0, len(d.Stale))
+	for k := range d.Stale {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return keys
+}
+
+// baselineKeyOf builds the module-relative key of one diagnostic.
+func baselineKeyOf(moduleRoot string, d Diagnostic) BaselineKey {
+	return BaselineKey{Analyzer: d.Analyzer, File: RelFile(moduleRoot, d.Pos.Filename), Message: d.Message}
+}
+
+// RelFile renders filename module-relative with forward slashes; files
+// outside the module keep their absolute path.
+func RelFile(moduleRoot, filename string) string {
+	rel, err := filepath.Rel(moduleRoot, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(filename)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// JSONDiagnostic is the -json output record of one finding.
+type JSONDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// ToJSONDiagnostics converts findings to their JSON records.
+func ToJSONDiagnostics(moduleRoot string, diags []Diagnostic) []JSONDiagnostic {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, JSONDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     RelFile(moduleRoot, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses `func f() { <body> }` and returns its block, for CFG
+// tests that need no type information (NewCFG accepts a nil package;
+// constant pruning is then off, which these shapes do not use).
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	f, err := parser.ParseFile(token.NewFileSet(), "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parsing body: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// blockOf returns the unique block whose statements satisfy pred.
+func blockOf(t *testing.T, cfg *CFG, pred func(ast.Node) bool) *Block {
+	t.Helper()
+	var found *Block
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Stmts {
+			if pred(s) {
+				if found != nil && found != b {
+					t.Fatalf("predicate matches several blocks")
+				}
+				found = b
+			}
+		}
+	}
+	if found == nil {
+		t.Fatalf("predicate matches no block")
+	}
+	return found
+}
+
+func isGoStmt(n ast.Node) bool   { _, ok := n.(*ast.GoStmt); return ok }
+func isSendStmt(n ast.Node) bool { _, ok := n.(*ast.SendStmt); return ok }
+
+// TestCFGLoopCycle checks that a for loop produces a genuine cycle: the
+// body block reaches the head and the head reaches the body.
+func TestCFGLoopCycle(t *testing.T) {
+	cfg := NewCFG(nil, parseBody(t, `
+	for i := 0; i < 10; i++ {
+		go work()
+	}
+	ch <- 1`))
+
+	body := blockOf(t, cfg, isGoStmt)
+	after := blockOf(t, cfg, isSendStmt)
+
+	if !reaches(body, body) {
+		t.Errorf("loop body does not reach itself: no back edge")
+	}
+	if !reaches(body, after) {
+		t.Errorf("loop body does not reach the statement after the loop")
+	}
+	if !cfg.Reachable()[after] {
+		t.Errorf("statement after a non-constant loop must be reachable")
+	}
+}
+
+// reaches reports whether to is reachable from from via at least one edge.
+func reaches(from, to *Block) bool {
+	seen := map[*Block]bool{}
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		for _, s := range b.Succs {
+			if s == to {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				if walk(s) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+// TestCFGReturnTerminates checks that return edges to Exit and
+// disconnects the code after it.
+func TestCFGReturnTerminates(t *testing.T) {
+	cfg := NewCFG(nil, parseBody(t, `
+	return
+	go dead()`))
+
+	reach := cfg.Reachable()
+	dead := blockOf(t, cfg, isGoStmt)
+	if reach[dead] {
+		t.Errorf("code after return must be unreachable")
+	}
+	if !reach[cfg.Exit] {
+		t.Errorf("Exit must be reachable through the return")
+	}
+}
+
+// TestCFGPanicTerminates checks that a panic statement ends its block
+// with no fall-through edge.
+func TestCFGPanicTerminates(t *testing.T) {
+	cfg := NewCFG(nil, parseBody(t, `
+	panic("boom")
+	go dead()`))
+
+	if cfg.Reachable()[blockOf(t, cfg, isGoStmt)] {
+		t.Errorf("code after panic must be unreachable")
+	}
+}
+
+// TestCFGDefersCollected checks that deferred calls are recorded for the
+// every-exit semantics waitleak relies on, including defers after
+// branches.
+func TestCFGDefersCollected(t *testing.T) {
+	cfg := NewCFG(nil, parseBody(t, `
+	defer a()
+	if cond {
+		defer b()
+	}
+	return`))
+
+	if len(cfg.Defers) != 2 {
+		t.Fatalf("collected %d defers, want 2", len(cfg.Defers))
+	}
+}
+
+// TestCFGIfElseJoin checks the diamond shape: both branches reachable,
+// both rejoining before Exit.
+func TestCFGIfElseJoin(t *testing.T) {
+	cfg := NewCFG(nil, parseBody(t, `
+	if cond {
+		go left()
+	} else {
+		ch <- 1
+	}
+	return`))
+
+	reach := cfg.Reachable()
+	left := blockOf(t, cfg, isGoStmt)
+	right := blockOf(t, cfg, isSendStmt)
+	if !reach[left] || !reach[right] {
+		t.Fatalf("both branches of a non-constant if must be reachable")
+	}
+	ret := blockOf(t, cfg, func(n ast.Node) bool { _, ok := n.(*ast.ReturnStmt); return ok })
+	if !reaches(left, ret) || !reaches(right, ret) {
+		t.Errorf("both branches must rejoin at the statement after the if")
+	}
+}

@@ -1,0 +1,104 @@
+package lint
+
+import "testing"
+
+// linkBlocks hand-builds a CFG from an edge list — the dataflow engine
+// only consumes Entry/Exit/Succs, so no AST is needed.
+func linkBlocks(n int, entry, exit int, edges [][2]int) (*CFG, []*Block) {
+	blocks := make([]*Block, n)
+	for i := range blocks {
+		blocks[i] = &Block{ID: i}
+	}
+	for _, e := range edges {
+		blocks[e[0]].Succs = append(blocks[e[0]].Succs, blocks[e[1]])
+	}
+	return &CFG{Entry: blocks[entry], Exit: blocks[exit], Blocks: blocks}, blocks
+}
+
+// TestForwardDiamondUnion: a fact generated on one branch and killed on
+// the other must survive the union join — the may-semantics waitleak
+// depends on (one leaking path is a finding).
+func TestForwardDiamondUnion(t *testing.T) {
+	//     0
+	//    / \
+	//   1   2
+	//    \ /
+	//     3
+	cfg, blocks := linkBlocks(4, 0, 3, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	transfer := func(b *Block, in Facts) Facts {
+		out := in.Clone()
+		switch b.ID {
+		case 1:
+			out["spawn"] = true
+		case 2:
+			out = Facts{} // the joining branch kills everything
+		}
+		return out
+	}
+	res := Forward(cfg, Facts{}, transfer)
+	if !res.In[cfg.Exit]["spawn"] {
+		t.Errorf("fact generated on one branch must survive the union join")
+	}
+	if len(res.Out[blocks[2]]) != 0 {
+		t.Errorf("killing branch must leave no facts, got %v", res.Out[blocks[2]])
+	}
+}
+
+// TestForwardCycleTerminates: the fixpoint must terminate on a loop and
+// propagate facts around the back edge into the loop head.
+func TestForwardCycleTerminates(t *testing.T) {
+	// 0 → 1 (head) → 2 (body) → 1, 1 → 3 (exit)
+	cfg, blocks := linkBlocks(4, 0, 3, [][2]int{{0, 1}, {1, 2}, {2, 1}, {1, 3}})
+	transfer := func(b *Block, in Facts) Facts {
+		out := in.Clone()
+		if b.ID == 2 {
+			out["loop"] = true
+		}
+		return out
+	}
+	res := Forward(cfg, Facts{}, transfer)
+	if !res.In[blocks[1]]["loop"] {
+		t.Errorf("fact must flow around the back edge into the loop head")
+	}
+	if !res.In[cfg.Exit]["loop"] {
+		t.Errorf("fact must escape the loop to Exit")
+	}
+}
+
+// TestForwardBoundaryAndUnreachable: boundary facts enter at Entry, and
+// blocks disconnected from Entry keep empty fact sets.
+func TestForwardBoundaryAndUnreachable(t *testing.T) {
+	// 0 → 2; block 1 is disconnected (dead code).
+	cfg, blocks := linkBlocks(3, 0, 2, [][2]int{{0, 2}, {1, 2}})
+	gen := 0
+	transfer := func(b *Block, in Facts) Facts {
+		gen++
+		return in.Clone()
+	}
+	res := Forward(cfg, NewFacts("boundary"), transfer)
+	if !res.In[cfg.Exit]["boundary"] {
+		t.Errorf("boundary fact must reach Exit")
+	}
+	if len(res.In[blocks[1]]) != 0 || len(res.Out[blocks[1]]) != 0 {
+		t.Errorf("disconnected block must keep empty fact sets")
+	}
+}
+
+// TestFactsOps covers the small-set algebra the engine is built on.
+func TestFactsOps(t *testing.T) {
+	f := NewFacts("a", "b")
+	g := f.Clone()
+	if !f.Equal(g) {
+		t.Fatalf("clone must equal the original")
+	}
+	g["c"] = true
+	if f.Equal(g) {
+		t.Fatalf("sets of different size must differ")
+	}
+	if changed := f.Union(g); !changed || !f["c"] {
+		t.Fatalf("union must add the new fact and report change")
+	}
+	if changed := f.Union(g); changed {
+		t.Fatalf("second union must be a no-op")
+	}
+}

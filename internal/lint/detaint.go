@@ -1,0 +1,369 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// detaint: interprocedural nondeterminism taint. The syntactic
+// determinism analyzer flags sources — map iteration, time.Now,
+// math/rand — that sit inside a kernel package function. What it cannot
+// see is a helper in a non-kernel package that derives floating-point
+// state from such a source and returns it into a kernel: the source is
+// out of scope, the kernel call site looks clean.
+//
+// This analyzer closes that hole. A whole-program fixpoint computes, per
+// declared function, whether its float-typed return values are tainted
+// by a nondeterminism source (directly, or transitively by calling a
+// tainted function). The reporting pass then walks only the kernel
+// packages and flags calls to tainted functions whose float result is
+// used. Intra-function sources are deliberately NOT re-reported — those
+// are the syntactic analyzer's findings; detaint reports exclusively the
+// cross-call paths it alone can see.
+
+// taintKernelPkgs are the packages whose floating-point state must be
+// deterministic (a subset of the syntactic analyzer's list: the ones
+// that compute, not the ones that assemble).
+var taintKernelPkgs = map[string]bool{
+	"sparse": true,
+	"ilu":    true,
+	"krylov": true,
+	"par":    true,
+	"dsys":   true,
+}
+
+var DeTaint = &ProgramAnalyzer{
+	Name: "detaint",
+	Doc:  "calls into functions whose float results are tainted by nondeterminism sources (time, rand, map order)",
+	Run:  runDeTaint,
+}
+
+// taintSummary is one function's verdict in the fixpoint.
+type taintSummary struct {
+	tainted bool
+	reason  string // root cause, e.g. "time.Now" or "map iteration order"
+}
+
+func runDeTaint(prog *Program) []Diagnostic {
+	g := prog.CallGraph()
+
+	// Deterministic node order for the fixpoint and for reason selection.
+	nodes := sortedNodes(g)
+
+	// Whole-program fixpoint: a function is tainted when one of its
+	// float-typed returns can carry a source value. Sources grow as
+	// summaries land, so iterate until stable. Termination: summaries
+	// only flip false→true.
+	summaries := map[*CGNode]*taintSummary{}
+	for changed := true; changed; {
+		changed = false
+		for _, node := range nodes {
+			if s := summaries[node]; s != nil && s.tainted {
+				continue
+			}
+			s := taintFunc(node, g, summaries)
+			if s.tainted {
+				summaries[node] = s
+				changed = true
+			}
+		}
+	}
+
+	// Reporting pass: kernel packages only, cross-call findings only.
+	var out []Diagnostic
+	for _, node := range nodes {
+		if !taintKernelPkgs[lastInternalPkg(node.Pkg.Path)] {
+			continue
+		}
+		discarded := discardedCalls(node.Decl.Body)
+		for _, e := range node.Out {
+			if e.Callee == nil || e.Callee == node {
+				continue // external, or self-recursion (intra-function)
+			}
+			s := summaries[e.Callee]
+			if s == nil || !s.tainted {
+				continue
+			}
+			if discarded[e.Site] {
+				continue // result unused: no float state enters the kernel
+			}
+			tv, ok := node.Pkg.Info.Types[e.Site]
+			if !ok || !hasFloatResult(tv.Type) {
+				continue
+			}
+			out = append(out, diag(node.Pkg, e.Site.Pos(), "detaint",
+				"call to %s feeds nondeterministic floating-point state (tainted by %s) into kernel package %q",
+				FuncDisplayName(e.Callee.Fn), s.reason, lastInternalPkg(node.Pkg.Path)))
+		}
+	}
+	sortDiags(out)
+	return out
+}
+
+// taintFunc computes one function's summary against the current set of
+// callee summaries.
+func taintFunc(node *CGNode, g *CallGraph, summaries map[*CGNode]*taintSummary) *taintSummary {
+	p := node.Pkg
+	body := node.Decl.Body
+
+	// sourceOf reports whether a call expression produces tainted data,
+	// and the root reason.
+	sourceOf := func(call *ast.CallExpr) (string, bool) {
+		fn := calleeFunc(p, call)
+		if fn == nil {
+			return "", false
+		}
+		if r, ok := externalTaintSource(fn); ok {
+			return r, true
+		}
+		if target := g.Nodes[fn]; target != nil && target != node {
+			if s := summaries[target]; s != nil && s.tainted {
+				return s.reason, true
+			}
+		}
+		return "", false
+	}
+
+	// Intraprocedural taint over named objects, to a fixpoint: an
+	// assignment whose RHS mentions a tainted object or a source call
+	// taints its LHS. Map-range float accumulation is a direct source.
+	tainted := map[types.Object]string{}
+	taintObj := func(e ast.Expr, reason string) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := p.Info.ObjectOf(id); obj != nil {
+				if _, seen := tainted[obj]; !seen {
+					tainted[obj] = reason
+				}
+			}
+		}
+	}
+	// exprTaint reports whether e mentions a tainted object or source call.
+	exprTaint := func(e ast.Expr) (string, bool) {
+		var reason string
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				if r, ok := sourceOf(x); ok {
+					reason, found = r, true
+					return false
+				}
+			case *ast.Ident:
+				if obj := p.Info.Uses[x]; obj != nil {
+					if r, ok := tainted[obj]; ok {
+						reason, found = r, true
+						return false
+					}
+				}
+			}
+			return true
+		})
+		return reason, found
+	}
+
+	// Seed: float accumulation inside map-range bodies taints the
+	// accumulator — the sum depends on iteration order.
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rs.Body, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 {
+				return true
+			}
+			switch as.Tok.String() {
+			case "+=", "-=", "*=", "/=":
+				if tv, ok := p.Info.Types[as.Lhs[0]]; ok && isFloat(tv.Type) {
+					taintObj(as.Lhs[0], "float accumulation in map iteration order")
+				}
+			}
+			return true
+		})
+		return true
+	})
+
+	// Propagate through assignments until stable.
+	for changed := true; changed; {
+		changed = false
+		before := len(tainted)
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.FuncLit:
+				return true // closures run on our behalf: keep walking
+			case *ast.AssignStmt:
+				if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+					if r, ok := exprTaint(st.Rhs[0]); ok {
+						for _, l := range st.Lhs {
+							taintObj(l, r)
+						}
+					}
+					return true
+				}
+				for i, rhs := range st.Rhs {
+					if i >= len(st.Lhs) {
+						break
+					}
+					if r, ok := exprTaint(rhs); ok {
+						taintObj(st.Lhs[i], r)
+					}
+				}
+			}
+			return true
+		})
+		if len(tainted) != before {
+			changed = true
+		}
+	}
+
+	// Verdict: does any float-typed return expression carry taint?
+	sig, _ := node.Fn.Type().(*types.Signature)
+	var verdict *taintSummary
+	ast.Inspect(body, func(n ast.Node) bool {
+		if verdict != nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a closure's returns are not this function's
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if len(ret.Results) == 0 {
+			// Bare return with named float results.
+			if sig != nil {
+				for i := 0; i < sig.Results().Len(); i++ {
+					res := sig.Results().At(i)
+					if res.Name() == "" || !isFloatDeep(res.Type()) {
+						continue
+					}
+					if r, ok := tainted[res]; ok {
+						verdict = &taintSummary{tainted: true, reason: r}
+						return false
+					}
+				}
+			}
+			return true
+		}
+		for _, e := range ret.Results {
+			tv, ok := p.Info.Types[e]
+			if !ok || !isFloatDeep(tv.Type) {
+				continue
+			}
+			if r, ok := exprTaint(e); ok {
+				verdict = &taintSummary{tainted: true, reason: r}
+				return false
+			}
+		}
+		return true
+	})
+	if verdict != nil {
+		return verdict
+	}
+	return &taintSummary{}
+}
+
+// externalTaintSource classifies stdlib functions that are
+// nondeterminism sources.
+func externalTaintSource(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	switch pkg.Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return "time." + fn.Name(), true
+		}
+	case "math/rand", "math/rand/v2":
+		return pkg.Path() + "." + fn.Name(), true
+	}
+	return "", false
+}
+
+// hasFloatResult reports whether a call-result type carries float data:
+// a float (or float slice/array) result, directly or in a tuple.
+func hasFloatResult(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isFloatDeep(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isFloatDeep(t)
+}
+
+// discardedCalls returns the calls whose results are thrown away
+// (expression statements and `go`/`defer` heads).
+func discardedCalls(body ast.Node) map[*ast.CallExpr]bool {
+	out := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if c, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+				out[c] = true
+			}
+		case *ast.GoStmt:
+			out[st.Call] = true
+		case *ast.DeferStmt:
+			out[st.Call] = true
+		}
+		return true
+	})
+	return out
+}
+
+// sortedNodes returns the call-graph nodes in deterministic order
+// (package path, then source position).
+func sortedNodes(g *CallGraph) []*CGNode {
+	nodes := make([]*CGNode, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Pkg.Path != nodes[j].Pkg.Path {
+			return nodes[i].Pkg.Path < nodes[j].Pkg.Path
+		}
+		return nodes[i].Decl.Pos() < nodes[j].Decl.Pos()
+	})
+	return nodes
+}
+
+// sortDiags orders diagnostics by position then message, for stable
+// output and baseline comparison.
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+}

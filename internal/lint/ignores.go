@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives. A finding that is intentional is silenced in
+// source with
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on the flagged line or the line directly above it. Directives are
+// tracked: every suppression remembers whether it actually suppressed
+// anything, so the driver's audit can report stale ignores — directives
+// whose finding has since been fixed, which would otherwise silently
+// disable the analyzer on whatever code drifts onto that line next.
+
+// IgnoreEntry is one parsed //lint:ignore directive.
+type IgnoreEntry struct {
+	Pos   token.Position
+	Names []string        // analyzers it names
+	used  map[string]bool // which of Names suppressed at least one diagnostic
+}
+
+// ignoreKey addresses the suppression index: one analyzer on one line.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// Ignores is the suppression index of a set of packages.
+type Ignores struct {
+	entries []*IgnoreEntry
+	byKey   map[ignoreKey]*IgnoreEntry
+}
+
+// CollectIgnores scans the packages' comments for //lint:ignore
+// directives. known names the acceptable analyzers; malformed directives
+// (no reason, unknown analyzer) are returned as diagnostics so they
+// cannot silently rot.
+func CollectIgnores(pkgs []*Package, known map[string]bool) (*Ignores, []Diagnostic) {
+	ig := &Ignores{byKey: map[ignoreKey]*IgnoreEntry{}}
+	var malformed []Diagnostic
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+					if !ok {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						malformed = append(malformed, Diagnostic{
+							Analyzer: "lint",
+							Pos:      pos,
+							Message:  "malformed ignore: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
+						})
+						continue
+					}
+					names := strings.Split(fields[0], ",")
+					bad := false
+					for _, name := range names {
+						if !known[name] {
+							malformed = append(malformed, Diagnostic{
+								Analyzer: "lint",
+								Pos:      pos,
+								Message:  fmt.Sprintf("ignore names unknown analyzer %q", name),
+							})
+							bad = true
+						}
+					}
+					if bad {
+						continue
+					}
+					e := &IgnoreEntry{Pos: pos, Names: names, used: map[string]bool{}}
+					ig.entries = append(ig.entries, e)
+					for _, name := range names {
+						ig.byKey[ignoreKey{pos.Filename, pos.Line, name}] = e
+						ig.byKey[ignoreKey{pos.Filename, pos.Line + 1, name}] = e
+					}
+				}
+			}
+		}
+	}
+	return ig, malformed
+}
+
+// Suppress reports whether d is covered by a directive, marking the
+// directive used.
+func (ig *Ignores) Suppress(d Diagnostic) bool {
+	e, ok := ig.byKey[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]
+	if !ok {
+		return false
+	}
+	e.used[d.Analyzer] = true
+	return true
+}
+
+// Filter drops the suppressed diagnostics, marking their directives used.
+func (ig *Ignores) Filter(ds []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range ds {
+		if !ig.Suppress(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Unused reports the stale directives: every (directive, analyzer) pair
+// where the analyzer ran — per the ran predicate — over the directive's
+// file but suppressed nothing. inScope restricts the audit to files the
+// run actually analyzed (a partial lint must not call dependency-package
+// ignores stale).
+func (ig *Ignores) Unused(ran func(analyzer string) bool, inScope func(file string) bool) []Diagnostic {
+	var out []Diagnostic
+	for _, e := range ig.entries {
+		if inScope != nil && !inScope(e.Pos.Filename) {
+			continue
+		}
+		for _, name := range e.Names {
+			if !ran(name) || e.used[name] {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Analyzer: "unusedignore",
+				Pos:      e.Pos,
+				Message:  fmt.Sprintf("stale //lint:ignore %s: it suppresses nothing; delete it", name),
+			})
+		}
+	}
+	return out
+}

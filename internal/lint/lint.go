@@ -29,7 +29,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 )
 
 // Diagnostic is one analyzer finding.
@@ -56,91 +55,48 @@ type Analyzer struct {
 	Run func(p *Package) []Diagnostic
 }
 
-// All returns the full analyzer suite in reporting order.
+// All returns the syntactic (per-package) analyzer suite in reporting
+// order. The interprocedural suite is AllProgram.
 func All() []*Analyzer {
 	return []*Analyzer{FloatCmp, Determinism, DimGuard, SharedWrite, ErrDrop}
+}
+
+// KnownAnalyzerNames returns every analyzer name a //lint:ignore
+// directive may legally reference: the syntactic suite, the
+// interprocedural suite, and the framework's own "lint" channel. The
+// full set is always legal in directives, regardless of which analyzers
+// a particular run executes — otherwise a partial run would misreport
+// the other suite's directives as unknown.
+func KnownAnalyzerNames() map[string]bool {
+	known := map[string]bool{"lint": true}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, a := range AllProgram() {
+		known[a.Name] = true
+	}
+	return known
 }
 
 // RunPackage runs every applicable analyzer on p and returns the
 // diagnostics that survive //lint:ignore filtering, plus a diagnostic for
 // each malformed ignore comment.
 func RunPackage(p *Package, analyzers []*Analyzer) []Diagnostic {
-	known := map[string]bool{}
-	for _, a := range analyzers {
-		known[a.Name] = true
-	}
-	ignores, malformed := collectIgnores(p, known)
+	ig, malformed := CollectIgnores([]*Package{p}, KnownAnalyzerNames())
+	return append(malformed, RunPackageWith(p, analyzers, ig)...)
+}
 
+// RunPackageWith is RunPackage against a caller-owned suppression index,
+// so a whole-module run can share one index (and audit it afterwards).
+func RunPackageWith(p *Package, analyzers []*Analyzer, ig *Ignores) []Diagnostic {
 	var out []Diagnostic
-	out = append(out, malformed...)
 	for _, a := range analyzers {
 		if a.Applies != nil && !a.Applies(p.Path) {
 			continue
 		}
-		for _, d := range a.Run(p) {
-			if ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
-				continue
-			}
-			out = append(out, d)
-		}
+		out = append(out, ig.Filter(a.Run(p))...)
 	}
 	return out
-}
-
-type ignoreKey struct {
-	file     string
-	line     int
-	analyzer string
-}
-
-// collectIgnores scans the package's comments for //lint:ignore
-// directives. A well-formed directive names one or more known analyzers
-// (comma-separated) and gives a non-empty reason; it suppresses those
-// analyzers on its own line and the line directly below. Malformed
-// directives are returned as diagnostics so they cannot silently rot.
-func collectIgnores(p *Package, known map[string]bool) (map[ignoreKey]bool, []Diagnostic) {
-	ignores := map[ignoreKey]bool{}
-	var malformed []Diagnostic
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
-				if !ok {
-					continue
-				}
-				pos := p.Fset.Position(c.Pos())
-				fields := strings.Fields(rest)
-				if len(fields) < 2 {
-					malformed = append(malformed, Diagnostic{
-						Analyzer: "lint",
-						Pos:      pos,
-						Message:  "malformed ignore: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
-					})
-					continue
-				}
-				names := strings.Split(fields[0], ",")
-				bad := false
-				for _, name := range names {
-					if !known[name] {
-						malformed = append(malformed, Diagnostic{
-							Analyzer: "lint",
-							Pos:      pos,
-							Message:  fmt.Sprintf("ignore names unknown analyzer %q", name),
-						})
-						bad = true
-					}
-				}
-				if bad {
-					continue
-				}
-				for _, name := range names {
-					ignores[ignoreKey{pos.Filename, pos.Line, name}] = true
-					ignores[ignoreKey{pos.Filename, pos.Line + 1, name}] = true
-				}
-			}
-		}
-	}
-	return ignores, malformed
 }
 
 // diag builds a Diagnostic at pos.

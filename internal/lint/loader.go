@@ -169,6 +169,18 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	return p, nil
 }
 
+// Loaded returns every module-internal package this loader has loaded so
+// far — lint targets plus their module-internal dependencies, which is
+// exactly the package universe the interprocedural analyzers need.
+func (l *Loader) Loaded() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // importPath maps a directory under the module root to its import path.
 func (l *Loader) importPath(dir string) (string, error) {
 	rel, err := filepath.Rel(l.ModuleRoot, dir)

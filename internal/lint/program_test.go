@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// fixturePackageDirs returns every directory under root that holds .go
+// files — one fixture may span several packages (a simulated kernel plus
+// the helper package its taint flows out of).
+func fixturePackageDirs(t *testing.T, root string) []string {
+	t.Helper()
+	var dirs []string
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(d.Name()) == ".go" {
+			if dir := filepath.Dir(path); !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(dirs)
+	return dirs
+}
+
+// loadProgramFixture loads every package of a multi-package fixture and
+// assembles the Program the interprocedural analyzers run on.
+func loadProgramFixture(t *testing.T, l *Loader, rel string) (*Program, []*Package) {
+	t.Helper()
+	root := filepath.Join("testdata", "src", rel)
+	var pkgs []*Package
+	for _, dir := range fixturePackageDirs(t, root) {
+		p, err := l.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("loading fixture package %s: %v", dir, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s has no packages", rel)
+	}
+	return NewProgram(pkgs), pkgs
+}
+
+func programAnalyzerByName(t *testing.T, name string) *ProgramAnalyzer {
+	t.Helper()
+	for _, a := range AllProgram() {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("no program analyzer named %q", name)
+	return nil
+}
+
+// TestProgramAnalyzerFixtures mirrors TestAnalyzerFixtures for the
+// interprocedural suite: every WANT-marked line of the positive fixture
+// is flagged (and nothing else), the negative fixture is silent. Lines
+// are deduplicated because one site may be reported once per annotated
+// root whose cone reaches it.
+func TestProgramAnalyzerFixtures(t *testing.T) {
+	l := newTestLoader(t)
+	for _, name := range []string{"detaint", "allocfree", "errtype", "waitleak"} {
+		t.Run(name, func(t *testing.T) {
+			a := programAnalyzerByName(t, name)
+
+			prog, pkgs := loadProgramFixture(t, l, filepath.Join(name, "positive"))
+			gotSet := map[string]bool{}
+			for _, d := range a.Run(prog) {
+				gotSet[keyOf(d.Pos.Filename, d.Pos.Line)] = true
+			}
+			got := make([]string, 0, len(gotSet))
+			for k := range gotSet {
+				got = append(got, k)
+			}
+			sort.Strings(got)
+			var want []string
+			for _, p := range pkgs {
+				want = append(want, wantLines(t, p, name)...)
+			}
+			sort.Strings(want)
+			if len(want) == 0 {
+				t.Fatalf("positive fixture has no WANT markers")
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("positive fixture: got diagnostics at %v, want %v", got, want)
+			}
+
+			neg, _ := loadProgramFixture(t, l, filepath.Join(name, "negative"))
+			if ds := a.Run(neg); len(ds) != 0 {
+				t.Errorf("negative fixture: unexpected diagnostics: %v", ds)
+			}
+		})
+	}
+}
+
+// TestCallGraphBuilder pins the builder's resolution rules on a fixture
+// exercising the three call kinds, recursion, method calls, method
+// values and indirect calls.
+func TestCallGraphBuilder(t *testing.T) {
+	l := newTestLoader(t)
+	p := loadFixture(t, l, "callgraph")
+	g := buildCallGraph([]*Package{p})
+
+	byName := map[string]*CGNode{}
+	for fn, n := range g.Nodes {
+		byName[fn.Name()] = n
+	}
+	for _, want := range []string{"Leaf", "Rec", "Caller", "M", "MethodCalls"} {
+		if byName[want] == nil {
+			t.Fatalf("no node for %s (have %d nodes)", want, len(g.Nodes))
+		}
+	}
+
+	// Caller: one edge per call kind, all to Leaf.
+	kinds := map[CallKind]int{}
+	for _, e := range byName["Caller"].Out {
+		if e.Callee != byName["Leaf"] {
+			t.Errorf("Caller edge to %v, want Leaf", e.Callee)
+			continue
+		}
+		kinds[e.Kind]++
+	}
+	if kinds[CallNormal] != 1 || kinds[CallDefer] != 1 || kinds[CallGo] != 1 {
+		t.Errorf("Caller edge kinds = %v, want one each of normal/defer/go", kinds)
+	}
+
+	// Rec: a self edge.
+	self := false
+	for _, e := range byName["Rec"].Out {
+		self = self || e.Callee == byName["Rec"]
+	}
+	if !self {
+		t.Errorf("Rec has no self edge: %+v", byName["Rec"].Out)
+	}
+
+	// MethodCalls: resolved method edge, indirect mark from f().
+	mc := byName["MethodCalls"]
+	methodEdge := false
+	for _, e := range mc.Out {
+		methodEdge = methodEdge || e.Callee == byName["M"]
+	}
+	if !methodEdge {
+		t.Errorf("MethodCalls has no edge to M: %+v", mc.Out)
+	}
+	if !mc.HasIndirect {
+		t.Errorf("MethodCalls must be marked HasIndirect (calls parameter f)")
+	}
+
+	// The method value t.M marks M address-taken; Leaf, only ever called
+	// directly, is not.
+	if !byName["M"].AddressTaken {
+		t.Errorf("M must be AddressTaken (method value g := t.M)")
+	}
+	if byName["Leaf"].AddressTaken {
+		t.Errorf("Leaf must not be AddressTaken (only called)")
+	}
+	if byName["Caller"].HasIndirect {
+		t.Errorf("Caller must not be HasIndirect (all calls resolve)")
+	}
+}

@@ -1,0 +1,38 @@
+// Negative allocfree fixture: an annotated cone that is genuinely
+// allocation-free on the default build, plus every exemption — pruned
+// constant branches, indirect calls (the caller's obligation), fan-out
+// closures, panic, and allocations in functions outside any cone. The
+// analyzer must stay silent.
+package krylov
+
+import par "parapre/internal/lint/testdata/src/allocfree/negative/internal/par"
+
+const debug = false
+
+// addTo is in the cone and allocation-free.
+func addTo(y, x []float64) {
+	for i := range y {
+		y[i] += x[i]
+	}
+}
+
+//lint:allocfree clean cone: nothing below allocates on the default build
+func Hot(y, x []float64, op func(y, x []float64)) {
+	if len(y) != len(x) {
+		panic("krylov: length mismatch")
+	}
+	if debug {
+		y = append(y, 1) // pruned: invisible on the default build
+	}
+	addTo(y, x)
+	op(y, x) // indirect: the CALLER's obligation, exactly as in AllocsPerRun tests
+	par.For(len(y), func(i int) {
+		y[i] *= 2 // clean fan-out body
+	})
+}
+
+// Cold is not annotated and in no annotated cone: its allocation is
+// nobody's business.
+func Cold(n int) []float64 {
+	return make([]float64, n)
+}

@@ -1,0 +1,9 @@
+// Fan-out boundary stub for the negative allocfree fixture.
+package par
+
+// For runs f(0..n-1); the real pool's serial path runs f inline.
+func For(n int, f func(int)) {
+	for i := 0; i < n; i++ {
+		f(i)
+	}
+}

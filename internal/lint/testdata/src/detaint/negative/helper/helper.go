@@ -1,0 +1,27 @@
+// The negative twin of the detaint helper: deterministic float helpers,
+// a nondeterministic helper with no float result, and a tainted helper
+// whose kernel call discards the result. None of them may produce a
+// finding.
+package helper
+
+import "time"
+
+// Sum is a deterministic left-to-right reduction.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// Stamp is nondeterministic but carries no float data: out of scope.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Bench IS tainted — the kernel fixture calls it as a bare statement,
+// which must not be reported (no float state enters the kernel).
+func Bench() float64 {
+	return float64(time.Now().UnixNano())
+}

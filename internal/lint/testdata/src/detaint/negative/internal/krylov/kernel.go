@@ -1,0 +1,22 @@
+// The kernel side of the detaint negative fixture: deterministic
+// cross-package float flow, non-float nondeterminism, and a discarded
+// tainted result. The analyzer must stay silent on all of it.
+package krylov
+
+import helper "parapre/internal/lint/testdata/src/detaint/negative/helper"
+
+// Norm consumes a deterministic helper: no finding.
+func Norm(xs []float64) float64 {
+	return helper.Sum(xs)
+}
+
+// Log consumes nondeterministic non-float data: out of scope.
+func Log() int64 {
+	return helper.Stamp()
+}
+
+// Warm calls a tainted helper but throws the result away: no float
+// state enters the kernel.
+func Warm() {
+	helper.Bench()
+}

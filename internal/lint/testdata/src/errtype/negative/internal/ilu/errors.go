@@ -1,0 +1,42 @@
+// Negative errtype fixture: the documented idioms — sentinels, typed
+// error structs, %w wraps, and passthrough of callee errors. The
+// analyzer must stay silent.
+package ilu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBreakdown is the documented sentinel.
+var ErrBreakdown = errors.New("ilu: breakdown")
+
+// PivotError is the documented typed error.
+type PivotError struct{ Row int }
+
+func (e *PivotError) Error() string { return fmt.Sprintf("ilu: zero pivot at row %d", e.Row) }
+func (e *PivotError) Unwrap() error { return ErrBreakdown }
+
+// Factor returns only typed errors, wraps, sentinels and passthroughs.
+func Factor(n int) error {
+	if n < 0 {
+		return ErrBreakdown
+	}
+	if n == 0 {
+		return &PivotError{Row: n}
+	}
+	if n == 1 {
+		return fmt.Errorf("factor of order %d: %w", n, ErrBreakdown)
+	}
+	if err := probe(n); err != nil {
+		return err // passthrough from a callee: not fresh
+	}
+	return nil
+}
+
+func probe(n int) error {
+	if n > 100 {
+		return &PivotError{Row: n}
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+// Positive errtype fixture: fresh untyped errors escaping through the
+// exported API of a simulated ilu package, directly, laundered through a
+// local, and via an unexported helper on an exported path.
+package ilu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSeed is a package-level sentinel: the allowed idiom, never flagged.
+var ErrSeed = errors.New("ilu: seed")
+
+// Factor is exported API: every fresh untyped error it returns crosses
+// the package boundary.
+func Factor(n int) error {
+	if n < 0 {
+		return errors.New("negative order") // WANT errtype
+	}
+	if n == 0 {
+		return fmt.Errorf("empty system of order %d", n) // WANT errtype
+	}
+	err := errors.New("laundered through a local")
+	if n == 1 {
+		return err // WANT errtype
+	}
+	return helperErr(n)
+}
+
+// helperErr is unexported but reachable from Factor: still audited.
+func helperErr(n int) error {
+	return fmt.Errorf("helper failure %d", n) // WANT errtype
+}
+
+// orphan is unreachable from the exported API: its fresh error never
+// crosses the boundary, so it is not flagged.
+func orphan() error {
+	return errors.New("orphan")
+}

@@ -1,0 +1,76 @@
+// Negative waitleak fixture: every join idiom the analyzer recognizes —
+// Wait on all branches, a deferred Wait covering every exit, channel
+// receives, range over a channel — plus spawns nested in closures, which
+// are the closure's business. The analyzer must stay silent.
+package par
+
+import (
+	"errors"
+	"sync"
+)
+
+var errFail = errors.New("par: worker failure")
+
+// JoinAllPaths waits on both the error path and the happy path.
+func JoinAllPaths(fail bool) error {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	if fail {
+		wg.Wait()
+		return errFail
+	}
+	wg.Wait()
+	return nil
+}
+
+// DeferJoin covers every exit with one deferred Wait.
+func DeferJoin(fail bool) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+// ReceiveJoin joins through a channel receive.
+func ReceiveJoin() int {
+	ch := make(chan int)
+	go feed(ch)
+	return <-ch
+}
+
+// RangeJoin joins by draining the channel.
+func RangeJoin() int {
+	ch := make(chan int)
+	go feedAndClose(ch)
+	s := 0
+	for v := range ch {
+		s += v
+	}
+	return s
+}
+
+// Spawner's goroutine is launched inside a closure: joined (or not) when
+// the closure runs, not on Spawner's paths.
+func Spawner(done chan struct{}) func() {
+	return func() {
+		go drain(done)
+	}
+}
+
+func feed(ch chan int) { ch <- 1 }
+
+func feedAndClose(ch chan int) {
+	ch <- 1
+	close(ch)
+}
+
+func drain(done chan struct{}) { <-done }

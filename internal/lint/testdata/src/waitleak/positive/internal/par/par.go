@@ -1,0 +1,33 @@
+// Positive waitleak fixture: goroutines whose join is skipped on an
+// early error return, and goroutines never joined at all. The finding
+// anchors at the `go` statement.
+package par
+
+import (
+	"errors"
+	"sync"
+)
+
+var errFail = errors.New("par: worker failure")
+
+// LeakOnError joins on the happy path but not on the error return —
+// exactly the bug class the analyzer exists for.
+func LeakOnError(fail bool) error {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // WANT waitleak
+		defer wg.Done()
+	}()
+	if fail {
+		return errFail
+	}
+	wg.Wait()
+	return nil
+}
+
+// LeakNoJoin never joins.
+func LeakNoJoin(done chan struct{}) {
+	go drain(done) // WANT waitleak
+}
+
+func drain(done chan struct{}) { <-done }

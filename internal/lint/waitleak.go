@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// waitleak: every goroutine launched in the worker-pool packages must be
+// joined on every path out of the launching function — including the
+// early error returns, which is where leaks hide: the happy path reaches
+// wg.Wait(), the `if err != nil { return err }` path does not, and the
+// stranded workers either leak or race the caller's reuse of shared
+// buffers.
+//
+// The check runs the forward-dataflow engine over the launching
+// function's CFG. A `go` statement generates the fact "this spawn is
+// unjoined"; any join construct — a sync.WaitGroup Wait call, a channel
+// receive, a range over a channel — kills all pending facts (the
+// matching of specific groups to specific spawns is deliberately
+// approximate: one join construct on a path is taken to join the
+// spawns before it). A `defer wg.Wait()` joins every exit at once. A
+// fact that reaches the CFG Exit is a path on which the spawn was never
+// joined.
+
+// waitLeakPkgs are the packages audited: the ones that own worker pools.
+var waitLeakPkgs = map[string]bool{
+	"par":  true,
+	"dist": true,
+}
+
+var WaitLeak = &ProgramAnalyzer{
+	Name: "waitleak",
+	Doc:  "goroutines launched in par/dist must be joined on all paths, including error returns",
+	Run:  runWaitLeak,
+}
+
+func runWaitLeak(prog *Program) []Diagnostic {
+	g := prog.CallGraph()
+	var out []Diagnostic
+	for _, node := range sortedNodes(g) {
+		if !waitLeakPkgs[lastInternalPkg(node.Pkg.Path)] {
+			continue
+		}
+		out = append(out, waitLeakFunc(prog, node)...)
+	}
+	sortDiags(out)
+	return out
+}
+
+func waitLeakFunc(prog *Program, node *CGNode) []Diagnostic {
+	p := node.Pkg
+	body := node.Decl.Body
+
+	// Any spawns at all? (Only top-level `go` statements of this body:
+	// a spawn inside a nested closure is the closure's business when it
+	// runs — and par closures run under the pool's own join discipline.)
+	var spawns []*ast.GoStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			spawns = append(spawns, x)
+		}
+		return true
+	})
+	if len(spawns) == 0 {
+		return nil
+	}
+
+	// Join constructs, collected up front so the transfer function can
+	// test membership: WaitGroup Wait calls, channel receives, ranges
+	// over channels.
+	joins := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // a join inside a closure does not join here
+		case *ast.CallExpr:
+			if isWaitGroupWait(p, x) {
+				joins[x] = true
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				joins[x] = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := p.Info.Types[x.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					joins[x.X] = true // the CFG records the range head as X
+				}
+			}
+		}
+		return true
+	})
+
+	cfg := prog.CFGOf(node)
+
+	// defer wg.Wait() (or any deferred join) covers every exit.
+	for _, d := range cfg.Defers {
+		if nodeContainsJoin(d.Call, joins) {
+			return nil
+		}
+	}
+
+	transfer := func(b *Block, in Facts) Facts {
+		out := in.Clone()
+		for _, s := range b.Stmts {
+			if gs, ok := s.(*ast.GoStmt); ok {
+				out[gs] = true
+				continue
+			}
+			if nodeContainsJoin(s, joins) {
+				out = Facts{}
+			}
+		}
+		return out
+	}
+
+	res := Forward(cfg, Facts{}, transfer)
+	atExit := res.In[cfg.Exit]
+
+	var out []Diagnostic
+	for _, gs := range spawns { // source order
+		if atExit != nil && atExit[gs] {
+			out = append(out, diag(p, gs.Pos(), "waitleak",
+				"goroutine may outlive %s: no join (WaitGroup Wait, channel receive) on some path to return",
+				FuncDisplayName(node.Fn)))
+		}
+	}
+	return out
+}
+
+// nodeContainsJoin reports whether any join construct occurs in n,
+// without descending into nested closures.
+func nodeContainsJoin(n ast.Node, joins map[ast.Node]bool) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if m != nil && joins[m] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isWaitGroupWait reports whether call is (*sync.WaitGroup).Wait.
+func isWaitGroupWait(p *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "WaitGroup"
+}

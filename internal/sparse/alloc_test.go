@@ -1,0 +1,76 @@
+package sparse
+
+import (
+	"testing"
+
+	"parapre/internal/par"
+)
+
+// measureSteadyAllocs pins the pool to one worker, runs one warm-up call
+// to build the cached row partition and block-routing verdict, then
+// measures steady-state allocations.
+func measureSteadyAllocs(t *testing.T, mul func()) float64 {
+	t.Helper()
+	prev := par.SetWorkers(1)
+	defer par.SetWorkers(prev)
+	mul()
+	return testing.AllocsPerRun(10, mul)
+}
+
+// blockTestCSR builds a 2×2-blocked diagonally dominant matrix large
+// enough to exercise the partitioned kernels.
+func blockTestCSR(nb int) *CSR {
+	n := 2 * nb
+	coo := NewCOO(n, n, 8*n)
+	for bi := 0; bi < nb; bi++ {
+		for r := 0; r < 2; r++ {
+			i := 2*bi + r
+			for c := 0; c < 2; c++ {
+				coo.Add(i, 2*bi+c, 4)
+				if bi > 0 {
+					coo.Add(i, 2*(bi-1)+c, -1)
+				}
+				if bi < nb-1 {
+					coo.Add(i, 2*(bi+1)+c, -1)
+				}
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// TestCSRMulVecToZeroAllocSteadyState pins the dynamic twin of the
+// static //lint:allocfree proof on the CSR matvec.
+//
+// alloctest: (*sparse.CSR).MulVecTo
+func TestCSRMulVecToZeroAllocSteadyState(t *testing.T) {
+	a := blockTestCSR(600)
+	x := make([]float64, a.Cols)
+	y := make([]float64, a.Rows)
+	for i := range x {
+		x[i] = float64(i%9) - 4
+	}
+	if got := measureSteadyAllocs(t, func() { a.MulVecTo(y, x) }); got != 0 {
+		t.Fatalf("CSR.MulVecTo allocates %v objects per steady-state call, want 0", got)
+	}
+}
+
+// TestBSRMulVecToZeroAllocSteadyState pins the dynamic twin of the
+// static //lint:allocfree proof on the BSR matvec.
+//
+// alloctest: (*sparse.BSR).MulVecTo
+func TestBSRMulVecToZeroAllocSteadyState(t *testing.T) {
+	a := blockTestCSR(600)
+	b, err := ToBSR(a, 2, 2)
+	if err != nil {
+		t.Fatalf("ToBSR: %v", err)
+	}
+	x := make([]float64, b.Cols)
+	y := make([]float64, b.Rows)
+	for i := range x {
+		x[i] = float64(i%9) - 4
+	}
+	if got := measureSteadyAllocs(t, func() { b.MulVecTo(y, x) }); got != 0 {
+		t.Fatalf("BSR.MulVecTo allocates %v objects per steady-state call, want 0", got)
+	}
+}
