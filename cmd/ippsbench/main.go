@@ -11,6 +11,13 @@
 //	ippsbench -all -size 65
 //	ippsbench -exp tc1-cluster -workers 8 -json
 //	ippsbench -exp tc1-cluster -faults drop -faultseed 3
+//	ippsbench -exp tc1-cluster -procs 4 -precond "Schur 1" -transport socket \
+//	  -checkpoint bench.ckpt -checkpoint-every 5
+//
+// -transport socket runs a single-cell sweep with one OS process per
+// rank (the re-exec pattern); a worker killed mid-solve is respawned
+// from the last durable checkpoint and the resumed solve lands on the
+// bit-identical result (-die-rank/-die-at-iter inject a real SIGKILL).
 //
 // -workers pins the shared-memory worker pool (default: GOMAXPROCS, or
 // the PARAPRE_WORKERS environment variable); iteration counts and modeled
@@ -30,9 +37,14 @@ import (
 	"time"
 
 	"parapre/internal/bench"
+	"parapre/internal/ckpt"
+	"parapre/internal/core"
 	"parapre/internal/dist"
+	"parapre/internal/dist/socket"
+	"parapre/internal/mprun"
 	"parapre/internal/obs"
 	"parapre/internal/par"
+	"parapre/internal/precond"
 )
 
 func main() {
@@ -48,6 +60,20 @@ func main() {
 		compare = flag.String("compare", "", "compare modeled times against a committed BENCH_*.json baseline and fail on regressions")
 		tol     = flag.Float64("tol", 0.10, "relative modeled-time regression tolerance for -compare")
 		workers = flag.Int("workers", 0, "shared-memory worker count (0 = GOMAXPROCS / PARAPRE_WORKERS)")
+
+		precKind  = flag.String("precond", "", `narrow every experiment to one preconditioner column (e.g. "Schur 1")`)
+		ckptPath  = flag.String("checkpoint", "", "durable checkpoint file (requires a single-cell sweep: one -procs value, one -precond column)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "checkpoint the solver recurrence every N iterations (0 = off)")
+		restore   = flag.String("restore", "", "resume the sweep's solve mid-recurrence from this checkpoint file")
+
+		transport = flag.String("transport", "chan", `rank communication: "chan" (in-process, default) or "socket" (one OS process per rank; single-cell sweeps only)`)
+		dieRank   = flag.Int("die-rank", -1, "socket chaos: this rank's worker process SIGKILLs itself (requires -die-at-iter)")
+		dieAt     = flag.Int("die-at-iter", 0, "socket chaos: SIGKILL -die-rank right after the first checkpoint at or past this iteration")
+
+		sockWorker = flag.Bool("socket-worker", false, "internal: run as one rank of a socket world")
+		sockRank   = flag.Int("rank", -1, "internal: this worker's rank")
+		hubNet     = flag.String("hub-net", "unix", "internal: hub listener network")
+		hubAddr    = flag.String("hub-addr", "", "internal: hub listener address")
 
 		faults    = flag.String("faults", "", `chaos plan for every solve: "drop", "delay", "corrupt", "straggler" or "crash"`)
 		faultSeed = flag.Int64("faultseed", 1, "chaos plan seed")
@@ -106,6 +132,39 @@ func main() {
 		}
 	}
 
+	if *precKind != "" {
+		for i := range toRun {
+			if toRun[i].Schwarz {
+				continue // Schwarz tables have no algebraic-preconditioner columns
+			}
+			var kept []precond.Kind
+			for _, k := range toRun[i].Preconds {
+				if string(k) == *precKind {
+					kept = append(kept, k)
+				}
+			}
+			if len(kept) == 0 {
+				fatal(fmt.Errorf("%s: no preconditioner column %q", toRun[i].ID, *precKind))
+			}
+			toRun[i].Preconds = kept
+		}
+	}
+
+	if *ckptEvery > 0 || *ckptPath != "" || *restore != "" {
+		var ck *ckpt.Checkpoint
+		if *restore != "" {
+			var err error
+			if ck, err = ckpt.Load(*restore); err != nil {
+				fatal(err)
+			}
+		}
+		for i := range toRun {
+			toRun[i].CheckpointEvery = *ckptEvery
+			toRun[i].CheckpointPath = *ckptPath
+			toRun[i].Restore = ck
+		}
+	}
+
 	if *faults != "" {
 		plan, err := dist.NamedFaultPlan(*faults, *faultSeed)
 		if err != nil {
@@ -120,6 +179,45 @@ func main() {
 		for i := range toRun {
 			toRun[i].Resilient = true
 		}
+	}
+
+	if *sockWorker {
+		if len(toRun) != 1 || *sockRank < 0 || *hubAddr == "" {
+			fmt.Fprintf(os.Stderr, "ippsbench: bad worker wiring: %d experiment(s), rank %d, hub %q\n", len(toRun), *sockRank, *hubAddr)
+			os.Exit(2)
+		}
+		os.Exit(runSocketWorker(toRun[0], *size, *sockRank, *hubNet, *hubAddr, *dieRank, *dieAt))
+	}
+	switch *transport {
+	case "chan":
+		// The in-process default: the sweep loop below, bit-identical to
+		// every run before transports existed.
+	case "socket":
+		if len(toRun) != 1 {
+			fmt.Fprintln(os.Stderr, "ippsbench: -transport socket runs exactly one experiment (one -exp id)")
+			os.Exit(2)
+		}
+		for _, bad := range []struct {
+			set  bool
+			flag string
+		}{
+			{*faults != "", "-faults"},
+			{*trace != "", "-trace"},
+			{*metrics != "", "-metrics"},
+			{*phases, "-phases"},
+			{*jsonOut || *jsonTo != "", "-json"},
+			{*compare != "", "-compare"},
+			{*md, "-markdown"},
+		} {
+			if bad.set {
+				fmt.Fprintf(os.Stderr, "ippsbench: %s is in-process machinery; drop it for -transport socket (chaos there is real: -die-rank)\n", bad.flag)
+				os.Exit(2)
+			}
+		}
+		os.Exit(runSupervisor(toRun[0], *size, *workers, *ckptPath, *restore, *dieRank, *dieAt))
+	default:
+		fmt.Fprintf(os.Stderr, "ippsbench: unknown -transport %q (chan | socket)\n", *transport)
+		os.Exit(2)
 	}
 
 	// With any observability output requested, every solve gets its own
@@ -211,6 +309,110 @@ func main() {
 		}
 		fmt.Printf("modeled times within %.0f%% of %s\n", *tol*100, *compare)
 	}
+}
+
+// runSocketWorker is the internal worker mode: one rank of a socket
+// world solving the experiment's single cell. It dials the hub, loads
+// the restore checkpoint when the supervisor passed one (the -restore
+// handling above already decoded it into the experiment), and runs
+// exactly this rank's share; rank 0 prints the result line the
+// supervisor's terminal shows.
+func runSocketWorker(e bench.Experiment, size, rank int, network, addr string, dieRank, dieAt int) int {
+	prob, cfg, err := e.SingleCell(size)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ippsbench: rank %d: %v\n", rank, err)
+		return 2
+	}
+	cl, err := socket.Dial(network, addr, cfg.P, rank, socket.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ippsbench: rank %d: %v\n", rank, err)
+		return 1
+	}
+	defer cl.Close()
+	var sink ckpt.Sink = cl
+	if rank == dieRank && dieAt > 0 && cfg.Restore == nil {
+		// Deterministic chaos: SIGKILL ourselves right after shipping the
+		// shard of the trigger iteration — first life only, so the
+		// respawned world runs to completion.
+		sink = mprun.DieAtSink{Sink: cl, Iter: uint64(dieAt)}
+	}
+	res, _, err := core.SolveRank(prob, cfg, rank, cl, sink)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ippsbench: rank %d: %v\n", rank, err)
+		return 1
+	}
+	if rank == 0 {
+		status := "converged"
+		if !res.Converged {
+			status = "NOT converged"
+		}
+		rel := res.Final
+		if res.Initial > 0 {
+			rel = res.Final / res.Initial
+		}
+		fmt.Printf("%s/%s/P=%d: %s in %d iterations (relative residual %.2e)\n",
+			e.ID, e.Preconds[0], cfg.P, status, res.Iterations, rel)
+	}
+	return 0
+}
+
+// runSupervisor hosts the hub and checkpoint writer and supervises one
+// worker process per rank (the re-exec pattern: ippsbench is its own
+// worker binary), respawning the world from the last durable checkpoint
+// when a rank dies.
+func runSupervisor(e bench.Experiment, size, workers int, ckptPath, restorePath string, dieRank, dieAt int) int {
+	prob, cfg, err := e.SingleCell(size)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ippsbench:", err)
+		return 2
+	}
+	if e.CheckpointEvery > 0 && ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "ippsbench: -checkpoint-every over -transport socket needs -checkpoint (the hub owns the file)")
+		return 2
+	}
+	fmt.Printf("%s: %d unknowns, P = %d, %s, socket transport (one OS process per rank)\n",
+		e.ID, prob.A.Rows, cfg.P, e.Preconds[0])
+	err = mprun.Supervise(mprun.Options{
+		P:              cfg.P,
+		CheckpointPath: ckptPath,
+		Log:            os.Stderr,
+		Args: func(rank int, network, addr string, restore bool) []string {
+			args := []string{
+				"-socket-worker",
+				"-rank", strconv.Itoa(rank),
+				"-hub-net", network,
+				"-hub-addr", addr,
+				"-exp", e.ID,
+				"-size", strconv.Itoa(size),
+				"-procs", strconv.Itoa(cfg.P),
+				"-precond", string(e.Preconds[0]),
+			}
+			if workers > 0 {
+				args = append(args, "-workers", strconv.Itoa(workers))
+			}
+			if e.Resilient {
+				args = append(args, "-resilient")
+			}
+			if e.CheckpointEvery > 0 {
+				args = append(args, "-checkpoint-every", strconv.Itoa(e.CheckpointEvery))
+			}
+			switch {
+			case restore:
+				args = append(args, "-restore", ckptPath)
+			case restorePath != "":
+				args = append(args, "-restore", restorePath)
+			}
+			if dieRank >= 0 && dieAt > 0 {
+				args = append(args, "-die-rank", strconv.Itoa(dieRank), "-die-at-iter", strconv.Itoa(dieAt))
+			}
+			return args
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ippsbench:", err)
+		return 1
+	}
+	return 0
 }
 
 // labeledCollector pairs one solve's collector with its label for the

@@ -12,6 +12,14 @@
 // typed error — never hang, never panic:
 //
 //	solvepde -case tc1-poisson2d -p 4 -faults corrupt -faultseed 7 -resilient
+//
+// Multi-process runs (see README "Multi-process runs"): -transport socket
+// runs every rank as its own OS process over a unix-socket hub, with
+// durable checkpoint/restart — a SIGKILLed rank is respawned by the
+// supervisor and the solve resumes from the last checkpoint:
+//
+//	solvepde -case tc1-poisson2d -p 4 -transport socket \
+//	    -checkpoint /tmp/tc1.ckpt -checkpoint-every 10
 package main
 
 import (
@@ -22,10 +30,15 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"strconv"
 	"strings"
 
 	"parapre"
+	"parapre/internal/ckpt"
+	"parapre/internal/core"
 	"parapre/internal/dist"
+	"parapre/internal/dist/socket"
+	"parapre/internal/mprun"
 	"parapre/internal/obs"
 	"parapre/internal/precond"
 )
@@ -59,6 +72,19 @@ func main() {
 		metrics = flag.String("metrics", "", "write a Prometheus-style text metrics snapshot of the solve")
 		phases  = flag.Bool("phases", false, "print the per-phase virtual-time breakdown")
 		pprofOn = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+
+		transport = flag.String("transport", "chan", `rank transport: "chan" (in-process goroutines, default) or "socket" (one OS process per rank)`)
+		ckptPath  = flag.String("checkpoint", "", "durable checkpoint file, rewritten atomically every -checkpoint-every iterations")
+		ckptEvery = flag.Int("checkpoint-every", 0, "checkpoint the solver recurrence every N iterations (0 = off)")
+		restore   = flag.String("restore", "", "resume the solve mid-recurrence from this checkpoint file")
+
+		dieRank = flag.Int("die-rank", -1, "chaos: SIGKILL this rank's worker process at -die-at-iter (socket transport only)")
+		dieAt   = flag.Int("die-at-iter", 0, "chaos: the checkpoint iteration at which -die-rank kills itself")
+
+		sockWorker = flag.Bool("socket-worker", false, "internal: run as one rank of a socket-transport world")
+		sockRank   = flag.Int("rank", -1, "internal: this worker's rank")
+		hubNet     = flag.String("hub-net", "unix", "internal: hub network")
+		hubAddr    = flag.String("hub-addr", "", "internal: hub address")
 	)
 	flag.Parse()
 
@@ -105,6 +131,57 @@ func main() {
 	cfg.Solver.RecordHistory = *history
 	cfg.Watchdog = *watchdog
 	cfg.Resilient = *resilient
+	cfg.CheckpointEvery = *ckptEvery
+
+	if *sockWorker {
+		if *sockRank < 0 || *sockRank >= *p || *hubAddr == "" {
+			fmt.Fprintf(os.Stderr, "solvepde: bad worker wiring: rank %d of P=%d, hub %q\n", *sockRank, *p, *hubAddr)
+			os.Exit(2)
+		}
+		os.Exit(runSocketWorker(prob, cfg, *sockRank, *hubNet, *hubAddr, *dieRank, *dieAt, *restore))
+	}
+	switch *transport {
+	case "chan":
+		cfg.CheckpointPath = *ckptPath
+		if *restore != "" {
+			ck, lerr := ckpt.Load(*restore)
+			if lerr != nil {
+				fmt.Fprintln(os.Stderr, "solvepde: restore:", lerr)
+				os.Exit(1)
+			}
+			cfg.Restore = ck
+		}
+	case "socket":
+		for _, bad := range []struct {
+			set  bool
+			flag string
+		}{
+			{*faults != "", "-faults"},
+			{*verify, "-verify"},
+			{*history, "-history"},
+			{*stats, "-stats"},
+			{*trace != "", "-trace"},
+			{*metrics != "", "-metrics"},
+			{*phases, "-phases"},
+			{*watchdog != 0, "-watchdog"},
+		} {
+			if bad.set {
+				fmt.Fprintf(os.Stderr, "solvepde: %s is in-process machinery; drop it for -transport socket (chaos there is real: -die-rank)\n", bad.flag)
+				os.Exit(2)
+			}
+		}
+		fmt.Printf("case %s: %d unknowns, P = %d, %s, socket transport (one OS process per rank)\n",
+			*name, prob.A.Rows, *p, *kind)
+		os.Exit(runSupervisor(socketRun{
+			name: *name, size: sz, p: *p, kind: *kind, machine: *machine,
+			simple: *simple, resilient: *resilient,
+			ckptPath: *ckptPath, ckptEvery: *ckptEvery, restorePath: *restore,
+			dieRank: *dieRank, dieAt: *dieAt,
+		}))
+	default:
+		fmt.Fprintf(os.Stderr, "solvepde: unknown -transport %q (chan | socket)\n", *transport)
+		os.Exit(2)
+	}
 	chaos := *faults != ""
 	if chaos {
 		plan, err := parapre.NamedFaultPlan(*faults, *faultSeed)
@@ -236,6 +313,116 @@ func writeObs(col *obs.Collector, label, tracePath, metricsPath string) {
 		}
 		fmt.Printf("wrote metrics %s\n", metricsPath)
 	}
+}
+
+// runSocketWorker is the internal worker mode: one rank of a socket
+// world. It dials the hub, loads the restore checkpoint when given, and
+// runs exactly this rank's share of the solve; rank 0 prints the result
+// line the supervisor's terminal shows.
+func runSocketWorker(prob *core.Problem, cfg core.Config, rank int, network, addr string, dieRank, dieAt int, restorePath string) int {
+	if restorePath != "" {
+		ck, err := ckpt.Load(restorePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "solvepde: rank %d restore: %v\n", rank, err)
+			return 1
+		}
+		cfg.Restore = ck
+	}
+	cl, err := socket.Dial(network, addr, cfg.P, rank, socket.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "solvepde: rank %d: %v\n", rank, err)
+		return 1
+	}
+	defer cl.Close()
+	var sink ckpt.Sink = cl
+	if rank == dieRank && dieAt > 0 && restorePath == "" {
+		// Deterministic chaos: SIGKILL ourselves right after shipping the
+		// shard of the trigger iteration — first life only, so the
+		// respawned world runs to completion.
+		sink = mprun.DieAtSink{Sink: cl, Iter: uint64(dieAt)}
+	}
+	res, _, err := core.SolveRank(prob, cfg, rank, cl, sink)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "solvepde: rank %d: %v\n", rank, err)
+		return 1
+	}
+	if rank == 0 {
+		status := "converged"
+		if !res.Converged {
+			status = "NOT converged"
+		}
+		rel := res.Final
+		if res.Initial > 0 {
+			rel = res.Final / res.Initial
+		}
+		fmt.Printf("%s in %d FGMRES(%d) iterations (relative residual %.2e)\n",
+			status, res.Iterations, cfg.Solver.Restart, rel)
+	}
+	return 0
+}
+
+// socketRun carries the parsed flag values the supervisor needs to
+// rebuild each worker's argv (the re-exec pattern: solvepde is its own
+// worker binary).
+type socketRun struct {
+	name, kind, machine   string
+	size, p               int
+	simple, resilient     bool
+	ckptPath, restorePath string
+	ckptEvery             int
+	dieRank, dieAt        int
+}
+
+// runSupervisor hosts the hub and checkpoint writer and supervises one
+// worker process per rank, respawning the world from the last durable
+// checkpoint when a rank dies.
+func runSupervisor(sr socketRun) int {
+	if sr.ckptEvery > 0 && sr.ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "solvepde: -checkpoint-every over -transport socket needs -checkpoint (the hub owns the file)")
+		return 2
+	}
+	err := mprun.Supervise(mprun.Options{
+		P:              sr.p,
+		CheckpointPath: sr.ckptPath,
+		Log:            os.Stderr,
+		Args: func(rank int, network, addr string, restore bool) []string {
+			args := []string{
+				"-socket-worker",
+				"-rank", strconv.Itoa(rank),
+				"-hub-net", network,
+				"-hub-addr", addr,
+				"-case", sr.name,
+				"-size", strconv.Itoa(sr.size),
+				"-p", strconv.Itoa(sr.p),
+				"-precond", sr.kind,
+				"-machine", sr.machine,
+			}
+			if sr.simple {
+				args = append(args, "-simple")
+			}
+			if sr.resilient {
+				args = append(args, "-resilient")
+			}
+			if sr.ckptEvery > 0 {
+				args = append(args, "-checkpoint-every", strconv.Itoa(sr.ckptEvery))
+			}
+			switch {
+			case restore:
+				args = append(args, "-restore", sr.ckptPath)
+			case sr.restorePath != "":
+				args = append(args, "-restore", sr.restorePath)
+			}
+			if sr.dieRank >= 0 && sr.dieAt > 0 {
+				args = append(args, "-die-rank", strconv.Itoa(sr.dieRank), "-die-at-iter", strconv.Itoa(sr.dieAt))
+			}
+			return args
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "solvepde:", err)
+		return 1
+	}
+	return 0
 }
 
 // reportFault prints a typed runtime failure of a chaos run and reports

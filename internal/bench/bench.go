@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"parapre/internal/cases"
+	"parapre/internal/ckpt"
 	"parapre/internal/core"
 	"parapre/internal/dist"
 	"parapre/internal/obs"
@@ -85,6 +86,49 @@ type Experiment struct {
 	// to attach to that solve (nil to skip it). Each solve needs its own
 	// collector; counters and spans are not reset between solves.
 	Observe func(label string) *obs.Collector
+
+	// Checkpoint configuration (the -checkpoint / -checkpoint-every /
+	// -restore flags of ippsbench). A checkpoint file belongs to exactly
+	// one solve, so these require the sweep to be narrowed to a single
+	// cell: one processor count and one preconditioner (use -procs and the
+	// experiment's own column set, or a single-column experiment).
+	CheckpointEvery int
+	CheckpointPath  string
+	Restore         *ckpt.Checkpoint
+}
+
+// SingleCell resolves the experiment down to the one (problem, config)
+// pair a single-cell sweep denotes — the shape the multi-process socket
+// transport runs in, where one worker process per rank solves exactly
+// one cell. The sweep must already be narrowed to one processor count
+// and one preconditioner. CheckpointEvery, Restore and Resilient carry
+// over; CheckpointPath does not — the durable file belongs to whoever
+// hosts the checkpoint writer (runAlgebraic in-process, the supervisor's
+// hub over sockets).
+func (e Experiment) SingleCell(size int) (*core.Problem, core.Config, error) {
+	if size == 0 {
+		size = e.Size
+	}
+	if e.Schwarz || e.ID == "shape" || len(e.Ps) != 1 || len(e.Preconds) != 1 {
+		return nil, core.Config{}, fmt.Errorf("%s: needs a single-cell sweep (one processor count, one preconditioner); narrow with -procs and -precond", e.ID)
+	}
+	c, err := cases.ByName(e.CaseName)
+	if err != nil {
+		return nil, core.Config{}, err
+	}
+	prob := c.Build(size)
+	cfg := core.DefaultConfig(e.Ps[0], e.Preconds[0])
+	cfg.Machine = e.Machine()
+	cfg.Scheme = e.Scheme
+	cfg.CheckpointEvery = e.CheckpointEvery
+	cfg.Restore = e.Restore
+	cfg.Resilient = e.Resilient
+	return prob, cfg, nil
+}
+
+// checkpointing reports whether any checkpoint/restore option is set.
+func (e Experiment) checkpointing() bool {
+	return e.CheckpointEvery > 0 || e.CheckpointPath != "" || e.Restore != nil
 }
 
 // Experiments returns the full set, one per table in the paper (§5), in
@@ -178,6 +222,11 @@ func (e Experiment) Run(size int) ([]Table, error) {
 	}
 	prob := c.Build(size)
 
+	if e.checkpointing() {
+		if e.Schwarz || e.ID == "shape" || len(e.Ps) != 1 || len(e.Preconds) != 1 {
+			return nil, fmt.Errorf("%s: checkpoint/restore needs a single-cell sweep (one processor count, one preconditioner); narrow with -procs", e.ID)
+		}
+	}
 	if e.Schwarz {
 		t, err := e.runSchwarz(prob, size)
 		if err != nil {
@@ -219,6 +268,9 @@ func (e Experiment) runAlgebraic(prob *core.Problem, scheme core.PartitionScheme
 			cfg := core.DefaultConfig(p, k)
 			cfg.Machine = e.Machine()
 			cfg.Scheme = scheme
+			cfg.CheckpointEvery = e.CheckpointEvery
+			cfg.CheckpointPath = e.CheckpointPath
+			cfg.Restore = e.Restore
 			e.applyChaos(&cfg)
 			cfg.Collector = e.observe(fmt.Sprintf("%s/%s/P=%d", e.ID, k, p))
 			start := time.Now()

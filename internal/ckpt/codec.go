@@ -1,0 +1,369 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"hash/crc64"
+	"math"
+	"sort"
+
+	"parapre/internal/krylov"
+)
+
+// The wire format, all little-endian:
+//
+//	magic "PCKP" | u32 version | payload | u64 CRC64-ECMA(magic..payload)
+//
+// payload:
+//
+//	u64 seq | u64 iter | u32 P | P × rankState
+//
+// rankState:
+//
+//	u32 rank
+//	6 × f64 stats (clock, compute, comm, faultDelay, flops) + 2 × u64 (msgs, bytes)
+//	u64 faultDraws | u64 faultOps
+//	u32 nCounters | nCounters × (string key, f64 value)   — sorted by key
+//	u8 hasSolver | solverState?
+//
+// solverState:
+//
+//	string method | u64 n | u64 m | u64 iter | u64 restarts | u64 j
+//	f64 ref | f64 initial | string precondID
+//	vec X | vecs V | vecs Z | vec H | vec Cs | vec Sn | vec G
+//	vec R | vec P | f64 RZ | vec History
+//
+// string: u32 length + bytes. vec: u32 length + f64s; length 0 decodes to
+// nil. vecs: u32 count + count × vec. The nil/empty collapse makes the
+// encoding canonical: encode→decode→encode is byte-identical.
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *encoder) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+func (e *encoder) vec(v []float64) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.f64(x)
+	}
+}
+func (e *encoder) vecs(v [][]float64) {
+	e.u32(uint32(len(v)))
+	for _, row := range v {
+		e.vec(row)
+	}
+}
+
+// Encode serializes the checkpoint into its canonical binary form.
+func Encode(ck *Checkpoint) []byte {
+	e := &encoder{buf: make([]byte, 0, encodedSizeHint(ck))}
+	e.buf = append(e.buf, Magic[:]...)
+	e.u32(Version)
+	e.u64(ck.Seq)
+	e.u64(ck.Iter)
+	e.u32(uint32(len(ck.Ranks)))
+	for i := range ck.Ranks {
+		encodeRank(e, &ck.Ranks[i])
+	}
+	e.u64(crc64.Checksum(e.buf, crcTable))
+	return e.buf
+}
+
+func encodeRank(e *encoder, rs *RankState) {
+	e.u32(uint32(rs.Rank))
+	st := rs.Stats
+	e.f64(st.Clock)
+	e.f64(st.ComputeTime)
+	e.f64(st.CommTime)
+	e.f64(st.FaultDelay)
+	e.f64(st.Flops)
+	e.u64(uint64(st.MsgsSent))
+	e.u64(uint64(st.BytesSent))
+	e.u64(rs.FaultDraws)
+	e.u64(rs.FaultOps)
+
+	keys := make([]string, 0, len(rs.Counters))
+	for k := range rs.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.u32(uint32(len(keys)))
+	for _, k := range keys {
+		e.str(k)
+		e.f64(rs.Counters[k])
+	}
+
+	if rs.Solver == nil {
+		e.u8(0)
+		return
+	}
+	e.u8(1)
+	s := rs.Solver
+	e.str(s.Method)
+	e.u64(uint64(s.N))
+	e.u64(uint64(s.M))
+	e.u64(uint64(s.Iter))
+	e.u64(uint64(s.Restarts))
+	e.u64(uint64(s.J))
+	e.f64(s.Ref)
+	e.f64(s.Initial)
+	e.str(s.PrecondID)
+	e.vec(s.X)
+	e.vecs(s.V)
+	e.vecs(s.Z)
+	e.vec(s.H)
+	e.vec(s.Cs)
+	e.vec(s.Sn)
+	e.vec(s.G)
+	e.vec(s.R)
+	e.vec(s.P)
+	e.f64(s.RZ)
+	e.vec(s.History)
+}
+
+// encodedSizeHint sizes the encode buffer to avoid growth in the common
+// case; an underestimate only costs a reallocation.
+func encodedSizeHint(ck *Checkpoint) int {
+	n := 64
+	for i := range ck.Ranks {
+		n += 128
+		if s := ck.Ranks[i].Solver; s != nil {
+			n += 8 * (len(s.X) + len(s.H) + len(s.R) + len(s.P) + len(s.History) + 64)
+			for _, v := range s.V {
+				n += 8*len(v) + 8
+			}
+			for _, v := range s.Z {
+				n += 8*len(v) + 8
+			}
+		}
+		n += 32 * len(ck.Ranks[i].Counters)
+	}
+	return n
+}
+
+// decoder is a bounds-checked reader over untrusted bytes. Every read
+// validates the remaining length first; the first failure latches a typed
+// *CorruptError and turns all further reads into no-ops, so decode paths
+// need no per-call error plumbing.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(reason string) {
+	if d.err == nil {
+		d.err = &CorruptError{Reason: reason, Offset: int64(d.off)}
+	}
+}
+
+func (d *decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if n < 0 || d.off+n > len(d.buf) {
+		d.fail("truncated")
+		return false
+	}
+	return true
+}
+
+func (d *decoder) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// sint decodes a u64 that must fit a non-negative int.
+func (d *decoder) sint() int {
+	v := d.u64()
+	if d.err == nil && v > math.MaxInt32 {
+		d.fail("integer field out of range")
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) str() string {
+	n := int(d.u32())
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *decoder) vec() []float64 {
+	n := int(d.u32())
+	if n == 0 {
+		return nil
+	}
+	// Each element needs 8 bytes: lengths beyond the remaining buffer are
+	// corrupt, and rejecting them here also stops allocation bombs.
+	if !d.need(8 * n) {
+		return nil
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = d.f64()
+	}
+	return v
+}
+
+func (d *decoder) vecs() [][]float64 {
+	n := int(d.u32())
+	if n == 0 {
+		return nil
+	}
+	if d.err != nil || n > len(d.buf)-d.off { // ≥1 byte per row, loose pre-check
+		d.fail("truncated")
+		return nil
+	}
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = d.vec()
+	}
+	return v
+}
+
+// Decode parses a checkpoint from its binary form. Hostile bytes are
+// safe: any structural damage returns a *CorruptError, a version skew a
+// *VersionError, and no input panics.
+func Decode(data []byte) (*Checkpoint, error) {
+	if len(data) < len(Magic)+4+8 {
+		return nil, &CorruptError{Reason: "shorter than header", Offset: int64(len(data))}
+	}
+	if string(data[:4]) != string(Magic[:]) {
+		return nil, &CorruptError{Reason: "bad magic", Offset: 0}
+	}
+	body, trailer := data[:len(data)-8], data[len(data)-8:]
+	if crc64.Checksum(body, crcTable) != binary.LittleEndian.Uint64(trailer) {
+		return nil, &CorruptError{Reason: "checksum mismatch", Offset: -1}
+	}
+	d := &decoder{buf: body, off: 4}
+	if v := d.u32(); v != Version {
+		return nil, &VersionError{Got: v, Want: Version}
+	}
+	ck := &Checkpoint{Seq: d.u64(), Iter: d.u64()}
+	p := int(d.u32())
+	if d.err == nil && (p < 0 || p > len(body)) { // ≥1 byte per rank shard
+		d.fail("rank count out of range")
+	}
+	if d.err == nil {
+		ck.Ranks = make([]RankState, p)
+		for i := 0; i < p; i++ {
+			decodeRank(d, &ck.Ranks[i])
+			if d.err != nil {
+				break
+			}
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(body) {
+		return nil, &CorruptError{Reason: "trailing bytes after payload", Offset: int64(d.off)}
+	}
+	return ck, nil
+}
+
+func decodeRank(d *decoder, rs *RankState) {
+	rs.Rank = int(d.u32())
+	rs.Stats.Rank = rs.Rank
+	rs.Stats.Clock = d.f64()
+	rs.Stats.ComputeTime = d.f64()
+	rs.Stats.CommTime = d.f64()
+	rs.Stats.FaultDelay = d.f64()
+	rs.Stats.Flops = d.f64()
+	rs.Stats.MsgsSent = d.sint()
+	rs.Stats.BytesSent = d.sint()
+	rs.FaultDraws = d.u64()
+	rs.FaultOps = d.u64()
+
+	n := int(d.u32())
+	if n > 0 {
+		if d.err != nil || n > len(d.buf)-d.off {
+			d.fail("truncated")
+			return
+		}
+		rs.Counters = make(map[string]float64, n)
+		for i := 0; i < n; i++ {
+			k := d.str()
+			v := d.f64()
+			if d.err != nil {
+				return
+			}
+			if _, dup := rs.Counters[k]; dup {
+				d.fail("duplicate counter key")
+				return
+			}
+			rs.Counters[k] = v
+		}
+	}
+
+	switch d.u8() {
+	case 0:
+		return
+	case 1:
+	default:
+		d.fail("bad solver-presence tag")
+		return
+	}
+	s := &krylov.State{}
+	s.Method = d.str()
+	s.N = d.sint()
+	s.M = d.sint()
+	s.Iter = d.sint()
+	s.Restarts = d.sint()
+	s.J = d.sint()
+	s.Ref = d.f64()
+	s.Initial = d.f64()
+	s.PrecondID = d.str()
+	s.X = d.vec()
+	s.V = d.vecs()
+	s.Z = d.vecs()
+	s.H = d.vec()
+	s.Cs = d.vec()
+	s.Sn = d.vec()
+	s.G = d.vec()
+	s.R = d.vec()
+	s.P = d.vec()
+	s.RZ = d.f64()
+	s.History = d.vec()
+	if d.err == nil {
+		rs.Solver = s
+	}
+}

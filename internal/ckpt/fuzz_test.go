@@ -1,0 +1,47 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzCheckpointDecode pins the codec's hostile-input contract: Decode
+// never panics, every failure is a typed *CorruptError or *VersionError,
+// and any input that does decode re-encodes canonically (a second
+// round-trip is byte-stable).
+func FuzzCheckpointDecode(f *testing.F) {
+	full := Encode(testCheckpoint())
+	empty := Encode(&Checkpoint{})
+	f.Add(full)
+	f.Add(empty)
+	f.Add(full[:len(full)/2])          // truncated mid-payload
+	f.Add(full[:3])                    // shorter than the magic
+	f.Add([]byte("PCKPgarbage_bytes")) // right magic, wrong everything
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := Decode(data)
+		if err != nil {
+			var ce *CorruptError
+			var ve *VersionError
+			if !errors.As(err, &ce) && !errors.As(err, &ve) {
+				t.Fatalf("untyped decode error %T: %v", err, err)
+			}
+			return
+		}
+		// A successful decode must re-encode to a canonical form: encoding
+		// it again decodes cleanly and is a byte-stable fixed point.
+		enc := Encode(ck)
+		ck2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-encoded checkpoint does not decode: %v", err)
+		}
+		if !bytes.Equal(enc, Encode(ck2)) {
+			t.Fatal("re-encoding is not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+
+	"parapre/internal/ckpt"
+	"parapre/internal/dist"
+	"parapre/internal/dsys"
+	"parapre/internal/krylov"
+	"parapre/internal/obs"
+	"parapre/internal/precond"
+)
+
+// worldRun is the per-rank solve body shared by the in-process world
+// (Solve: P goroutine ranks over the channel transport) and the
+// multi-process worker (SolveRank: one OS process per rank over the
+// socket transport). Keeping the two paths on one body is what makes the
+// socket world reproduce the in-process arithmetic: same setup charge,
+// same barrier, same solver options, same checkpoint hook placement.
+type worldRun struct {
+	cfg     Config
+	systems []*dsys.System
+	schwarz []*precond.Schwarz
+	overlap []*precond.OverlapBlock
+	sink    ckpt.Sink
+
+	results []krylov.Result
+	logs    []*krylov.RecoveryLog
+	setup   []float64
+	xl      [][]float64
+	errs    []error
+}
+
+func (wr *worldRun) alloc() {
+	p := wr.cfg.P
+	wr.results = make([]krylov.Result, p)
+	wr.logs = make([]*krylov.RecoveryLog, p)
+	wr.setup = make([]float64, p)
+	wr.xl = make([][]float64, p)
+	wr.errs = make([]error, p)
+}
+
+// rank is the rank body: build the preconditioner, charge its setup,
+// synchronize, and run the configured solver with checkpoint/restore
+// wiring.
+func (wr *worldRun) rank(c *dist.Comm) {
+	cfg := wr.cfg
+	s := wr.systems[c.Rank()]
+	var pc precond.Preconditioner
+	var err error
+	switch {
+	case wr.schwarz != nil:
+		pc = wr.schwarz[c.Rank()]
+	case wr.overlap != nil:
+		pc = wr.overlap[c.Rank()]
+	default:
+		pc, err = buildRankPrecond(cfg, s, cfg.Precond)
+	}
+	if err != nil {
+		wr.errs[c.Rank()] = err
+		pc = precond.NewIdentity()
+	}
+	// Charge setup heuristically (factor construction ≈ a few solve
+	// sweeps) and synchronize, as all processors finish setup before
+	// iterating.
+	sp := c.BeginSpan(obs.KindPrecondSetup, precondLabel(cfg))
+	c.Compute(setupFlopFactor * setupCost(pc))
+	c.EndSpan(sp)
+	c.Barrier()
+	wr.setup[c.Rank()] = c.Stats().Clock
+
+	sopt := rankSolverOptions(cfg, c, wr.sink, cfg.Restore)
+	x := make([]float64, s.NLoc())
+	var prec krylov.Prec
+	if cfg.Precond != precond.KindNone || cfg.Schwarz != nil {
+		prec = wrapApply(c, precondLabel(cfg), pc)
+	}
+	switch {
+	case cfg.UseCG:
+		wr.results[c.Rank()] = krylov.DistributedCG(c, s, prec, s.B, x, sopt)
+	case cfg.Resilient:
+		wr.results[c.Rank()], wr.logs[c.Rank()] = krylov.ResilientSolve(
+			c, s, resilientLadder(cfg, c, s, prec), s.B, x, sopt)
+	default:
+		wr.results[c.Rank()] = krylov.Distributed(c, s, prec, s.B, x, sopt)
+	}
+	wr.xl[c.Rank()] = x
+}
+
+// checkpointSink resolves the configured checkpoint destination: an
+// explicit sink wins, else a file writer on CheckpointPath, else nil
+// (checkpointing off).
+func checkpointSink(cfg Config) ckpt.Sink {
+	if cfg.CheckpointEvery <= 0 {
+		return nil
+	}
+	if cfg.CheckpointSink != nil {
+		return cfg.CheckpointSink
+	}
+	if cfg.CheckpointPath != "" {
+		return ckpt.NewFileWriter(cfg.CheckpointPath, cfg.P)
+	}
+	return nil
+}
+
+// rankSolverOptions copies the configured solver options for one rank and
+// wires the checkpoint hook and the restore state into the copy (the
+// shared Config value must stay untouched — rank bodies run concurrently).
+//
+// On restore, the rank's virtual clock, fault-RNG cursor and
+// observability counters are rewound to the snapshot before the solver
+// resumes, so the continued run is bit-identical — clocks included — to
+// the uninterrupted one. The rewind happens after the fresh setup phase
+// charged the clock, deliberately discarding the respawned process's
+// duplicated setup cost from the modeled time.
+func rankSolverOptions(cfg Config, c *dist.Comm, sink ckpt.Sink, restore *ckpt.Checkpoint) krylov.Options {
+	sopt := cfg.Solver
+	if sink != nil && cfg.CheckpointEvery > 0 {
+		sopt.CheckpointEvery = cfg.CheckpointEvery
+		pid := precondLabel(cfg)
+		p := cfg.P
+		sopt.Checkpoint = func(st *krylov.State) {
+			st.PrecondID = pid
+			draws, ops := c.FaultCursor()
+			// The replicated iteration count doubles as the sequence
+			// number, so shard grouping is consistent across ranks and
+			// across restarts. A sink failure must not kill the solve; the
+			// previous durable checkpoint stays valid.
+			_ = sink.PutShard(uint64(st.Iter), uint64(st.Iter), p, &ckpt.RankState{
+				Rank:       c.Rank(),
+				Solver:     st,
+				Stats:      c.Stats(),
+				FaultDraws: draws,
+				FaultOps:   uint64(ops),
+				Counters:   c.ObsCounterSnapshot(),
+			})
+		}
+	}
+	if restore != nil {
+		rs := &restore.Ranks[c.Rank()]
+		sopt.Resume = rs.Solver
+		c.FastForwardFaults(rs.FaultDraws, int(rs.FaultOps))
+		c.ObsMergeCounters(rs.Counters)
+		c.RestoreStats(rs.Stats)
+	}
+	return sopt
+}
+
+// validateRestore rejects a checkpoint that does not fit the config
+// before any rank starts: wrong world size, missing solver state, or (on
+// the non-resilient path, which has no ladder to re-match stages) a
+// different preconditioner identity.
+func validateRestore(cfg Config) error {
+	ck := cfg.Restore
+	if ck == nil {
+		return nil
+	}
+	if ck.P() != cfg.P {
+		return fmt.Errorf("core: checkpoint holds %d ranks, config wants P=%d", ck.P(), cfg.P)
+	}
+	want := precondLabel(cfg)
+	for i := range ck.Ranks {
+		s := ck.Ranks[i].Solver
+		if s == nil {
+			return fmt.Errorf("core: checkpoint rank %d carries no solver state", i)
+		}
+		if !cfg.Resilient && s.PrecondID != want {
+			return &krylov.StateMismatchError{Field: "precond", Want: want, Got: s.PrecondID}
+		}
+	}
+	return nil
+}
+
+// SolveRank runs exactly one rank of the distributed solve over the
+// given transport — the worker side of a multi-process (socket) run. The
+// worker re-derives the partition and subdomain systems deterministically
+// from the same problem and config the supervisor used, so no matrix data
+// crosses the wire; only solver traffic does.
+//
+// The additive-Schwarz and overlapping-block preconditioners are wired
+// through shared memory across ranks and cannot run multi-process;
+// requesting them returns an error. Fault plans and watchdogs are
+// likewise in-process machinery (dist.RemoteWorld strips them): chaos for
+// socket worlds is real — kill the process.
+//
+// The rank's krylov result and final virtual-time stats are returned
+// even on error (stats cover work up to the failure point).
+func SolveRank(p *Problem, cfg Config, rank int, tr dist.Transport, sink ckpt.Sink) (krylov.Result, dist.Stats, error) {
+	if cfg.P < 1 || rank < 0 || rank >= cfg.P {
+		return krylov.Result{}, dist.Stats{}, fmt.Errorf("core: rank %d of P=%d", rank, cfg.P)
+	}
+	if cfg.Schwarz != nil || cfg.OverlapLevels > 0 {
+		return krylov.Result{}, dist.Stats{}, fmt.Errorf("core: overlapping/Schwarz preconditioners are shared-memory wired and cannot run multi-process")
+	}
+	if cfg.Solver.Restart == 0 {
+		cfg.Solver = DefaultConfig(cfg.P, cfg.Precond).Solver
+	}
+	if err := validateRestore(cfg); err != nil {
+		return krylov.Result{}, dist.Stats{}, err
+	}
+	if sink == nil {
+		sink = checkpointSink(cfg)
+	}
+
+	part := Partition(p, cfg)
+	systems := dsys.Distribute(p.A, p.B, part, cfg.P)
+
+	wr := &worldRun{cfg: cfg, systems: systems, sink: sink}
+	wr.alloc()
+	w := dist.RemoteWorld(cfg.P, cfg.Machine, tr, dist.WorldOptions{Collector: cfg.Collector})
+	st, err := dist.RunRank(w.Comm(rank), wr.rank)
+	if err == nil && wr.errs[rank] != nil {
+		err = fmt.Errorf("core: rank %d setup: %w", rank, wr.errs[rank])
+	}
+	return wr.results[rank], st, err
+}

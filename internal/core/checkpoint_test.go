@@ -1,0 +1,246 @@
+package core_test
+
+import (
+	"errors"
+	"math"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"parapre/internal/cases"
+	"parapre/internal/ckpt"
+	"parapre/internal/core"
+	"parapre/internal/krylov"
+	"parapre/internal/precond"
+)
+
+// memSink collects per-rank shards and assembles every complete
+// checkpoint sequence in memory, so tests can restore from any
+// intermediate iteration — the in-process stand-in for killing a run at
+// iteration k.
+type memSink struct {
+	mu       sync.Mutex
+	pending  map[uint64][]*ckpt.RankState
+	complete map[uint64]*ckpt.Checkpoint
+}
+
+func newMemSink() *memSink {
+	return &memSink{
+		pending:  make(map[uint64][]*ckpt.RankState),
+		complete: make(map[uint64]*ckpt.Checkpoint),
+	}
+}
+
+func (m *memSink) PutShard(seq, iter uint64, p int, rs *ckpt.RankState) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sh := m.pending[seq]
+	if sh == nil {
+		sh = make([]*ckpt.RankState, p)
+		m.pending[seq] = sh
+	}
+	sh[rs.Rank] = rs
+	for _, s := range sh {
+		if s == nil {
+			return nil
+		}
+	}
+	delete(m.pending, seq)
+	ck := &ckpt.Checkpoint{Seq: seq, Iter: iter, Ranks: make([]ckpt.RankState, p)}
+	for i, s := range sh {
+		ck.Ranks[i] = *s
+	}
+	m.complete[seq] = ck
+	return nil
+}
+
+// at returns the complete checkpoint captured at solver iteration k.
+func (m *memSink) at(t *testing.T, k uint64) *ckpt.Checkpoint {
+	t.Helper()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ck, ok := m.complete[k]
+	if !ok {
+		keys := make([]uint64, 0, len(m.complete))
+		for s := range m.complete {
+			keys = append(keys, s)
+		}
+		t.Fatalf("no complete checkpoint at iteration %d (have %v)", k, keys)
+	}
+	return ck
+}
+
+// bitEqual compares float slices bit-for-bit (0.0 vs -0.0 and NaN
+// patterns included): the restore contract is replayed arithmetic, not
+// approximate agreement.
+func bitEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func checkpointedSolve(t *testing.T, name string, size, p int, kind precond.Kind, every int, restore *ckpt.Checkpoint, mutate func(*core.Config)) (*core.Result, *memSink) {
+	t.Helper()
+	c, err := cases.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := c.Build(size)
+	cfg := core.DefaultConfig(p, kind)
+	cfg.KeepX = true
+	cfg.Solver.RecordHistory = true
+	sink := newMemSink()
+	cfg.CheckpointEvery = every
+	cfg.CheckpointSink = sink
+	cfg.Restore = restore
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := core.Solve(prob, cfg)
+	if err != nil {
+		t.Fatalf("%s/%s P=%d: %v", name, kind, p, err)
+	}
+	return res, sink
+}
+
+// assertSameSolve demands the resumed run be indistinguishable from the
+// uninterrupted one: iteration count, convergence, full residual history,
+// solution vector and modeled clocks, all bit-identical.
+func assertSameSolve(t *testing.T, label string, base, got *core.Result) {
+	t.Helper()
+	if got.Iterations != base.Iterations || got.Converged != base.Converged || got.Restarts != base.Restarts {
+		t.Fatalf("%s: resumed solve took %d itr (conv=%v, restarts=%d), uninterrupted %d (conv=%v, restarts=%d)",
+			label, got.Iterations, got.Converged, got.Restarts, base.Iterations, base.Converged, base.Restarts)
+	}
+	if math.Float64bits(got.Residual) != math.Float64bits(base.Residual) {
+		t.Fatalf("%s: resumed residual %x differs from %x", label, math.Float64bits(got.Residual), math.Float64bits(base.Residual))
+	}
+	if !bitEqual(got.History, base.History) {
+		t.Fatalf("%s: resumed residual history (%d entries) not bit-identical to uninterrupted (%d entries)",
+			label, len(got.History), len(base.History))
+	}
+	if !bitEqual(got.X, base.X) {
+		t.Fatalf("%s: resumed solution vector not bit-identical", label)
+	}
+	if math.Float64bits(got.SolveTime) != math.Float64bits(base.SolveTime) {
+		t.Fatalf("%s: resumed modeled solve time %v differs from %v (clock restore broken)",
+			label, got.SolveTime, base.SolveTime)
+	}
+}
+
+func TestRestoreResumesBitIdenticalGMRES(t *testing.T) {
+	const k = 10
+	for _, p := range []int{2, 4, 8} {
+		base, sink := checkpointedSolve(t, "tc7-jump", 17, p, precond.KindSchur1, k, nil, nil)
+		if base.Iterations <= k {
+			t.Fatalf("P=%d: solve finished in %d iterations, before the checkpoint at %d", p, base.Iterations, k)
+		}
+
+		// The hook itself must not perturb the solve.
+		plain, _ := checkpointedSolve(t, "tc7-jump", 17, p, precond.KindSchur1, 0, nil, nil)
+		assertSameSolve(t, "P="+itoa(p)+" checkpoint-hook", plain, base)
+
+		// "Kill" at iteration k: throw the live run away and resume a fresh
+		// one from the k-th checkpoint.
+		ck := sink.at(t, k)
+		resumed, _ := checkpointedSolve(t, "tc7-jump", 17, p, precond.KindSchur1, k, ck, nil)
+		assertSameSolve(t, "P="+itoa(p)+" resume", base, resumed)
+	}
+}
+
+func TestRestoreResumesBitIdenticalCG(t *testing.T) {
+	const k = 6
+	mutate := func(cfg *core.Config) {
+		cfg.UseCG = true
+		cfg.Solver.Flexible = false
+	}
+	for _, p := range []int{2, 4} {
+		base, sink := checkpointedSolve(t, "tc1-poisson2d", 17, p, precond.KindBlockIC, k, nil, mutate)
+		if base.Iterations <= k {
+			t.Fatalf("P=%d: CG finished in %d iterations, before the checkpoint at %d", p, base.Iterations, k)
+		}
+		ck := sink.at(t, k)
+		resumed, _ := checkpointedSolve(t, "tc1-poisson2d", 17, p, precond.KindBlockIC, k, ck, mutate)
+		assertSameSolve(t, "CG P="+itoa(p)+" resume", base, resumed)
+	}
+}
+
+func TestRestoreSurvivesFileRoundTrip(t *testing.T) {
+	// The same resume, but through the durable path: FileWriter → disk →
+	// Load, exactly what a respawned process does.
+	const k, p = 10, 4
+	path := filepath.Join(t.TempDir(), "solve.ckpt")
+	c, err := cases.ByName("tc7-jump")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := c.Build(17)
+	cfg := core.DefaultConfig(p, precond.KindSchur1)
+	cfg.KeepX = true
+	cfg.Solver.RecordHistory = true
+	cfg.CheckpointEvery = k
+	cfg.CheckpointPath = path
+	base, err := core.Solve(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ck, err := ckpt.Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	// The file holds the LAST checkpoint of the run; resuming from it must
+	// still land on the identical final state.
+	cfg2 := cfg
+	cfg2.Restore = ck
+	resumed, err := core.Solve(prob, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSolve(t, "file round-trip resume", base, resumed)
+}
+
+func TestRestoreRejectsMismatches(t *testing.T) {
+	const k, p = 10, 4
+	_, sink := checkpointedSolve(t, "tc7-jump", 17, p, precond.KindSchur1, k, nil, nil)
+	ck := sink.at(t, k)
+
+	c, _ := cases.ByName("tc7-jump")
+	prob := c.Build(17)
+
+	// Wrong world size.
+	cfg := core.DefaultConfig(p+1, precond.KindSchur1)
+	cfg.Restore = ck
+	if _, err := core.Solve(prob, cfg); err == nil {
+		t.Fatal("restore with wrong P accepted")
+	}
+
+	// Wrong preconditioner identity: the typed mismatch, not a crash.
+	cfg = core.DefaultConfig(p, precond.KindBlock1)
+	cfg.Restore = ck
+	_, err := core.Solve(prob, cfg)
+	var sm *krylov.StateMismatchError
+	if !errors.As(err, &sm) {
+		t.Fatalf("restore under different preconditioner: error %T (%v), want *krylov.StateMismatchError", err, err)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

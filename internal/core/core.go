@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"parapre/internal/arms"
+	"parapre/internal/ckpt"
 	"parapre/internal/dist"
 	"parapre/internal/dsys"
 	"parapre/internal/grid"
@@ -140,6 +141,27 @@ type Config struct {
 	// without a collector. Nil (the default) is a no-op costing one
 	// pointer check per instrumented operation.
 	Collector *obs.Collector
+
+	// CheckpointEvery > 0 makes every rank snapshot its solver recurrence
+	// each CheckpointEvery iterations. The iteration count is replicated
+	// across ranks, so the per-rank shards of one iteration form a
+	// globally consistent checkpoint; they are assembled and persisted
+	// atomically by the sink. Requires CheckpointPath or CheckpointSink.
+	CheckpointEvery int
+	// CheckpointPath is the durable checkpoint file, rewritten atomically
+	// at each complete checkpoint (ckpt.FileWriter).
+	CheckpointPath string
+	// CheckpointSink overrides the path-based writer — the multi-process
+	// worker passes its socket client here, which forwards shards to the
+	// hub that owns the file.
+	CheckpointSink ckpt.Sink
+	// Restore resumes the solve mid-recurrence from a loaded checkpoint
+	// (ckpt.Load) instead of starting fresh: per-rank solver state,
+	// virtual clocks, fault-plan RNG cursors and observability counters
+	// are all restored, so the resumed solve replays the uninterrupted
+	// run's arithmetic bit for bit. The checkpoint must match the config
+	// (world size, preconditioner identity).
+	Restore *ckpt.Checkpoint
 }
 
 // DefaultConfig mirrors the paper's measurement setup (§4.3): FGMRES(20),
@@ -279,56 +301,26 @@ func Solve(p *Problem, cfg Config) (*Result, error) {
 		}
 	}
 
+	if err := validateRestore(cfg); err != nil {
+		return nil, err
+	}
 	res := &Result{PerRank: make([]dist.Stats, cfg.P)}
-	results := make([]krylov.Result, cfg.P)
-	logs := make([]*krylov.RecoveryLog, cfg.P)
-	setupClock := make([]float64, cfg.P)
-	xl := make([][]float64, cfg.P)
-	errs := make([]error, cfg.P)
+	wr := &worldRun{
+		cfg:     cfg,
+		systems: systems,
+		schwarz: schwarz,
+		overlap: overlap,
+		sink:    checkpointSink(cfg),
+	}
+	wr.alloc()
+	results := wr.results
+	logs := wr.logs
+	setupClock := wr.setup
+	xl := wr.xl
 
-	stats, runErr := runWorld(cfg, func(c *dist.Comm) {
-		s := systems[c.Rank()]
-		var pc precond.Preconditioner
-		var err error
-		switch {
-		case cfg.Schwarz != nil:
-			pc = schwarz[c.Rank()]
-		case overlap != nil:
-			pc = overlap[c.Rank()]
-		default:
-			pc, err = buildRankPrecond(cfg, s, cfg.Precond)
-		}
-		if err != nil {
-			errs[c.Rank()] = err
-			pc = precond.NewIdentity()
-		}
-		// Charge setup heuristically (factor construction ≈ a few solve
-		// sweeps) and synchronize, as all processors finish setup before
-		// iterating.
-		sp := c.BeginSpan(obs.KindPrecondSetup, precondLabel(cfg))
-		c.Compute(setupFlopFactor * setupCost(pc))
-		c.EndSpan(sp)
-		c.Barrier()
-		setupClock[c.Rank()] = c.Stats().Clock
+	stats, runErr := runWorld(cfg, wr.rank)
 
-		x := make([]float64, s.NLoc())
-		var prec krylov.Prec
-		if cfg.Precond != precond.KindNone || cfg.Schwarz != nil {
-			prec = wrapApply(c, precondLabel(cfg), pc)
-		}
-		switch {
-		case cfg.UseCG:
-			results[c.Rank()] = krylov.DistributedCG(c, s, prec, s.B, x, cfg.Solver)
-		case cfg.Resilient:
-			results[c.Rank()], logs[c.Rank()] = krylov.ResilientSolve(
-				c, s, resilientLadder(cfg, c, s, prec), s.B, x, cfg.Solver)
-		default:
-			results[c.Rank()] = krylov.Distributed(c, s, prec, s.B, x, cfg.Solver)
-		}
-		xl[c.Rank()] = x
-	})
-
-	for r, err := range errs {
+	for r, err := range wr.errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: rank %d setup: %w", r, err)
 		}

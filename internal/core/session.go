@@ -117,8 +117,12 @@ func (s *Session) Solve(b []float64) (*Result, error) {
 	if len(b) != s.prob.A.Rows {
 		return nil, fmt.Errorf("core: rhs length %d, want %d", len(b), s.prob.A.Rows)
 	}
+	if err := validateRestore(s.cfg); err != nil {
+		return nil, err
+	}
 	wallStart := time.Now()
 	bl := dsys.Scatter(s.systems, b)
+	sink := checkpointSink(s.cfg)
 
 	results := make([]krylov.Result, s.cfg.P)
 	logs := make([]*krylov.RecoveryLog, s.cfg.P)
@@ -126,6 +130,7 @@ func (s *Session) Solve(b []float64) (*Result, error) {
 	stats, runErr := runWorld(s.cfg, func(c *dist.Comm) {
 		sys := s.systems[c.Rank()]
 		pc := s.pcs[c.Rank()]
+		sopt := rankSolverOptions(s.cfg, c, sink, s.cfg.Restore)
 		x := make([]float64, sys.NLoc())
 		var prec krylov.Prec
 		if s.cfg.Precond != precond.KindNone || s.cfg.Schwarz != nil {
@@ -133,12 +138,12 @@ func (s *Session) Solve(b []float64) (*Result, error) {
 		}
 		switch {
 		case s.cfg.UseCG:
-			results[c.Rank()] = krylov.DistributedCG(c, sys, prec, bl[c.Rank()], x, s.cfg.Solver)
+			results[c.Rank()] = krylov.DistributedCG(c, sys, prec, bl[c.Rank()], x, sopt)
 		case s.cfg.Resilient:
 			results[c.Rank()], logs[c.Rank()] = krylov.ResilientSolve(
-				c, sys, resilientLadder(s.cfg, c, sys, prec), bl[c.Rank()], x, s.cfg.Solver)
+				c, sys, resilientLadder(s.cfg, c, sys, prec), bl[c.Rank()], x, sopt)
 		default:
-			results[c.Rank()] = krylov.Distributed(c, sys, prec, bl[c.Rank()], x, s.cfg.Solver)
+			results[c.Rank()] = krylov.Distributed(c, sys, prec, bl[c.Rank()], x, sopt)
 		}
 		xl[c.Rank()] = x
 	})

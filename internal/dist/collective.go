@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"errors"
 	"sync"
 
 	"parapre/internal/obs"
@@ -14,7 +15,7 @@ import (
 // double-buffered by generation parity: a rank cannot be two collectives
 // ahead of another, so parity slots never collide. A world abort (the
 // RunOpts watchdog or a rank panic) wakes every waiter, which then
-// unwinds with abortPanic.
+// reports ErrWorldAborted.
 type reducer struct {
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -38,7 +39,7 @@ func newReducer(p int) *reducer {
 }
 
 // abort releases every rank blocked in a collective; they and all later
-// arrivals unwind with abortPanic.
+// arrivals return ErrWorldAborted.
 func (r *reducer) abort() {
 	r.mu.Lock()
 	r.aborted = true
@@ -50,11 +51,11 @@ func (r *reducer) abort() {
 // everyone else's using op (applied in rank order), and the combined
 // vector plus the maximum deposited clock are returned to all ranks. op
 // must be equivalent across ranks.
-func (r *reducer) reduce(rank int, in []float64, clock float64, op func(acc, in []float64)) ([]float64, float64) {
+func (r *reducer) reduce(rank int, in []float64, clock float64, op func(acc, in []float64)) ([]float64, float64, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.aborted {
-		panic(abortPanic{})
+		return nil, 0, ErrWorldAborted
 	}
 	myGen := r.gen
 	r.inputs[rank] = append(r.inputs[rank][:0], in...)
@@ -81,12 +82,27 @@ func (r *reducer) reduce(rank int, in []float64, clock float64, op func(acc, in 
 			r.cond.Wait()
 		}
 		if r.aborted {
-			panic(abortPanic{})
+			return nil, 0, ErrWorldAborted
 		}
 	}
 	slot := myGen & 1
 	out := append([]float64(nil), r.result[slot]...)
-	return out, r.maxTimes[slot]
+	return out, r.maxTimes[slot], nil
+}
+
+// reduce runs one collective wave through the world's transport,
+// converting a world abort into the internal unwind panic. Any other
+// transport failure (a socket IO error) keeps the panicking contract of
+// the collective API; RunOpts and RunRank convert it into a typed error.
+func (c *Comm) reduce(in []float64, kind ReduceKind) ([]float64, float64) {
+	out, maxT, err := c.w.tr.Reduce(c.rank, in, c.clock, kind)
+	if err != nil {
+		if errors.Is(err, ErrWorldAborted) {
+			panic(abortPanic{})
+		}
+		panic(err)
+	}
+	return out, maxT
 }
 
 // AllReduceSum sums x across all ranks; every rank receives the total.
@@ -100,11 +116,7 @@ func (c *Comm) AllReduceSum(x float64) float64 {
 func (c *Comm) AllReduceSumVec(x []float64) []float64 {
 	c.beginOp("allreduce", -1, -1)
 	sp := c.beginCollective(obs.KindAllReduce, 8*len(x))
-	out, maxT := c.w.red.reduce(c.rank, x, c.clock, func(acc, in []float64) {
-		for i := range acc {
-			acc[i] += in[i]
-		}
-	})
+	out, maxT := c.reduce(x, ReduceSum)
 	c.syncClock(maxT, 8*len(x))
 	sp.End(c.clock)
 	c.endOp()
@@ -124,11 +136,7 @@ func (c *Comm) beginCollective(kind string, bytes int) obs.Span {
 func (c *Comm) AllReduceMax(x float64) float64 {
 	c.beginOp("allreduce", -1, -1)
 	sp := c.beginCollective(obs.KindAllReduce, 8)
-	out, maxT := c.w.red.reduce(c.rank, []float64{x}, c.clock, func(acc, in []float64) {
-		if in[0] > acc[0] {
-			acc[0] = in[0]
-		}
-	})
+	out, maxT := c.reduce([]float64{x}, ReduceMax)
 	c.syncClock(maxT, 8)
 	sp.End(c.clock)
 	c.endOp()
@@ -139,11 +147,7 @@ func (c *Comm) AllReduceMax(x float64) float64 {
 func (c *Comm) AllReduceMin(x float64) float64 {
 	c.beginOp("allreduce", -1, -1)
 	sp := c.beginCollective(obs.KindAllReduce, 8)
-	out, maxT := c.w.red.reduce(c.rank, []float64{x}, c.clock, func(acc, in []float64) {
-		if in[0] < acc[0] {
-			acc[0] = in[0]
-		}
-	})
+	out, maxT := c.reduce([]float64{x}, ReduceMin)
 	c.syncClock(maxT, 8)
 	sp.End(c.clock)
 	c.endOp()
@@ -154,7 +158,7 @@ func (c *Comm) AllReduceMin(x float64) float64 {
 func (c *Comm) Barrier() {
 	c.beginOp("barrier", -1, -1)
 	sp := c.beginCollective(obs.KindBarrier, 0)
-	_, maxT := c.w.red.reduce(c.rank, nil, c.clock, func(acc, in []float64) {})
+	_, maxT := c.reduce(nil, ReduceSum)
 	c.syncClock(maxT, 0)
 	sp.End(c.clock)
 	c.endOp()
@@ -175,11 +179,7 @@ func (c *Comm) AllGather(x []float64, counts []int) []float64 {
 	buf := make([]float64, total)
 	copy(buf[offs[c.rank]:], x)
 	sp := c.beginCollective(obs.KindAllGather, 8*total)
-	out, maxT := c.w.red.reduce(c.rank, buf, c.clock, func(acc, in []float64) {
-		for i := range acc {
-			acc[i] += in[i]
-		}
-	})
+	out, maxT := c.reduce(buf, ReduceSum)
 	c.syncClock(maxT, 8*total)
 	sp.End(c.clock)
 	c.endOp()

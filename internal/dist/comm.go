@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -8,17 +9,6 @@ import (
 
 	"parapre/internal/obs"
 )
-
-// message is one point-to-point payload with the sender's virtual
-// timestamp. fdelay is the portion of the timestamp that is injected
-// fault jitter rather than modeled communication, so the receiver can
-// book its wait in the right Stats bucket.
-type message struct {
-	tag    int
-	data   []float64
-	time   float64
-	fdelay float64
-}
 
 // DefaultBufferDepth is the per-ordered-pair channel capacity of a world
 // created without options. See WorldOptions.BufferDepth for the deadlock
@@ -58,6 +48,13 @@ type WorldOptions struct {
 	// single-pointer-check fast path and all modeled times bit-identical
 	// to an unobserved world.
 	Collector *obs.Collector
+
+	// Transport carries the world's rank communication. Nil (the default)
+	// installs the in-process channel transport, which preserves the
+	// historical semantics and virtual-time model bit-for-bit; inject a
+	// dist/socket client (multi-process ranks) or a test wrapper to run
+	// the same protocol over a different medium.
+	Transport Transport
 }
 
 // World couples P rank goroutines to one machine model. Create it with
@@ -67,13 +64,10 @@ type World struct {
 	P       int
 	Machine *Machine
 	opts    WorldOptions
-	chans   []chan message // chans[from*P+to]
-	red     *reducer
+	tr      Transport
 
-	// abort/crash plumbing (always allocated; only exercised under
-	// RunOpts with faults or a watchdog).
-	done      chan struct{}   // closed when the world is aborted
-	crashedCh []chan struct{} // crashedCh[r] closed when rank r hard-crashes
+	// abort plumbing (always allocated; only exercised under RunOpts
+	// with faults or a watchdog).
 	abortOnce sync.Once
 	abortMu   sync.Mutex
 	abortErr  error
@@ -102,43 +96,48 @@ func NewWorldOpts(p int, m *Machine, opts WorldOptions) *World {
 	if p < 1 {
 		panic(fmt.Sprintf("dist: world size %d", p))
 	}
-	depth := opts.BufferDepth
-	if depth <= 0 {
-		depth = DefaultBufferDepth
+	tr := opts.Transport
+	if tr == nil {
+		tr = NewLoopback(p, opts.BufferDepth)
 	}
 	w := &World{
-		P:         p,
-		Machine:   m,
-		opts:      opts,
-		chans:     make([]chan message, p*p),
-		done:      make(chan struct{}),
-		crashedCh: make([]chan struct{}, p),
-		track:     opts.Watchdog > 0,
-		states:    make([]rankState, p),
+		P:       p,
+		Machine: m,
+		opts:    opts,
+		tr:      tr,
+		track:   opts.Watchdog > 0,
+		states:  make([]rankState, p),
 	}
-	for i := range w.chans {
-		w.chans[i] = make(chan message, depth)
-	}
-	for r := range w.crashedCh {
-		w.crashedCh[r] = make(chan struct{})
+	for r := range w.states {
 		w.states[r].Rank = r
 		w.states[r].Peer = -1
 		w.states[r].Tag = -1
 	}
-	w.red = newReducer(p)
 	return w
 }
 
+// RemoteWorld creates the single-rank view of a P-rank world whose
+// communication runs over the injected transport — the multi-process
+// path, where each OS process holds exactly one rank and tr is a
+// dist/socket client. Only Comm(rank) of the owning rank may be used;
+// fault plans and the in-process watchdog (both of which need the whole
+// world in one address space) are ignored.
+func RemoteWorld(p int, m *Machine, tr Transport, opts WorldOptions) *World {
+	opts.Faults = nil
+	opts.Watchdog = 0
+	opts.Transport = tr
+	return NewWorldOpts(p, m, opts)
+}
+
 // abort marks the world failed with err (first abort wins), releases
-// every rank blocked in a channel operation or collective, and makes all
-// subsequent operations unwind with abortPanic.
+// every rank blocked in a transport operation or collective, and makes
+// all subsequent operations unwind with abortPanic.
 func (w *World) abort(err error) {
 	w.abortOnce.Do(func() {
 		w.abortMu.Lock()
 		w.abortErr = err
 		w.abortMu.Unlock()
-		close(w.done)
-		w.red.abort()
+		w.tr.Abort()
 	})
 }
 
@@ -156,7 +155,7 @@ func (w *World) markCrashed(r int) {
 	st.mu.Lock()
 	st.Crashed = true
 	st.mu.Unlock()
-	close(w.crashedCh[r])
+	w.tr.MarkCrashed(r)
 	w.progress.Add(1)
 }
 
@@ -359,11 +358,11 @@ func (c *Comm) Send(to, tag int, data []float64) {
 	// Sender-side overhead: the α spent handing the message to the
 	// network is the sender's time, not the receiver's.
 	c.clock += c.w.Machine.Latency
-	m := message{tag: tag, data: buf, time: c.clock}
+	m := Message{Tag: tag, Data: buf, Time: c.clock}
 	if c.faults != nil {
 		delay, dropped, corrupted := c.faults.sendFaults(buf)
-		m.time += delay
-		m.fdelay = delay
+		m.Time += delay
+		m.FDelay = delay
 		if c.rec != nil {
 			if delay > 0 {
 				c.rec.Count("fault_delays", 1)
@@ -381,19 +380,14 @@ func (c *Comm) Send(to, tag int, data []float64) {
 			return // the network ate it; the stats above still count the send
 		}
 	}
-	ch := c.w.chans[c.rank*c.w.P+to]
-	select {
-	case ch <- m:
-	default:
-		// Buffer full: block, but stay cancellable on world abort and
-		// discard the message if the receiver has crashed (it would never
-		// be read).
-		select {
-		case ch <- m:
-		case <-c.w.done:
+	if err := c.w.tr.Send(c.rank, to, m); err != nil {
+		// A world abort unwinds the rank quietly; any other transport
+		// failure (a socket IO error) keeps the legacy panicking contract
+		// of Send — RunOpts and RunRank convert it into a typed error.
+		if errors.Is(err, ErrWorldAborted) {
 			panic(abortPanic{})
-		case <-c.w.crashedCh[to]:
 		}
+		panic(err)
 	}
 	sp.End(c.clock)
 	c.endOp()
@@ -421,52 +415,42 @@ func (c *Comm) RecvErr(from, tag int) ([]float64, error) {
 	if c.rec != nil {
 		sp = c.rec.BeginComm(obs.KindRecv, from, tag, 0, c.clock)
 	}
-	ch := c.w.chans[from*c.w.P+c.rank]
-	var m message
-	select {
-	case m = <-ch:
-	default:
-		// Nothing buffered yet: block, but wake on world abort or on the
-		// peer crashing. A crashed peer may still have messages in
-		// flight, so drain those before declaring the peer dead.
-		select {
-		case m = <-ch:
-		case <-c.w.done:
+	m, err := c.w.tr.Recv(c.rank, from)
+	if err != nil {
+		if errors.Is(err, ErrWorldAborted) {
 			panic(abortPanic{})
-		case <-c.w.crashedCh[from]:
-			select {
-			case m = <-ch:
-			default:
-				sp.End(c.clock)
-				c.endOp()
-				return nil, &PeerCrashedError{Rank: c.rank, Peer: from, Tag: tag}
-			}
 		}
-	}
-	if m.tag != tag {
 		sp.End(c.clock)
 		c.endOp()
-		return nil, &TagMismatchError{Rank: c.rank, Peer: from, Want: tag, Got: m.tag}
+		if errors.Is(err, ErrPeerGone) {
+			return nil, &PeerCrashedError{Rank: c.rank, Peer: from, Tag: tag}
+		}
+		return nil, err // transport-level typed error (socket IO failure)
 	}
-	if m.time > c.clock {
+	if m.Tag != tag {
+		sp.End(c.clock)
+		c.endOp()
+		return nil, &TagMismatchError{Rank: c.rank, Peer: from, Want: tag, Got: m.Tag}
+	}
+	if m.Time > c.clock {
 		// The receiver idles until the message's stamped arrival. The
 		// part of that wait caused by injected delay jitter is fault
 		// stall, not modeled communication: book it separately so chaos
 		// runs do not inflate the comm fraction.
-		wait := m.time - c.clock
-		if m.fdelay > 0 {
-			d := m.fdelay
+		wait := m.Time - c.clock
+		if m.FDelay > 0 {
+			d := m.FDelay
 			if d > wait {
 				d = wait
 			}
 			c.faultDelay += d
 		}
-		c.clock = m.time
+		c.clock = m.Time
 	}
-	c.clock += c.w.Machine.messageTime(8 * len(m.data))
+	c.clock += c.w.Machine.messageTime(8 * len(m.Data))
 	sp.End(c.clock)
 	c.endOp()
-	return m.data, nil
+	return m.Data, nil
 }
 
 // Stats reports this rank's accounting so far. The three buckets
@@ -495,6 +479,57 @@ func (c *Comm) Stats() Stats {
 		MsgsSent:    c.msgsSent,
 		BytesSent:   c.bytesSent,
 	}
+}
+
+// RestoreStats resets this rank's accounting to a previously captured
+// snapshot — the checkpoint-restore path, which must resume the virtual
+// clocks exactly where the interrupted run left them so modeled times
+// are independent of how often the solve was killed. It must be called
+// before the rank performs any operation.
+func (c *Comm) RestoreStats(s Stats) {
+	c.clock = s.Clock
+	c.computeTime = s.ComputeTime
+	c.faultDelay = s.FaultDelay
+	c.flops = s.Flops
+	c.msgsSent = s.MsgsSent
+	c.bytesSent = s.BytesSent
+}
+
+// FaultCursor returns the position of this rank's fault-plan RNG stream:
+// the count of raw draws consumed plus the operation counter driving the
+// planned crash point. Zero values on a world without a fault plan.
+func (c *Comm) FaultCursor() (draws uint64, ops int) {
+	if c.faults == nil {
+		return 0, 0
+	}
+	return c.faults.src.n, c.faults.ops
+}
+
+// FastForwardFaults advances this rank's fault-plan RNG stream to the
+// given cursor (a previous FaultCursor result), so a restored solve sees
+// exactly the faults the uninterrupted run would have seen from that
+// point on. No-op without a fault plan.
+func (c *Comm) FastForwardFaults(draws uint64, ops int) {
+	if c.faults == nil {
+		return
+	}
+	for c.faults.src.n < draws {
+		c.faults.src.Int63()
+	}
+	c.faults.ops = ops
+}
+
+// ObsCounterSnapshot copies this rank's observability counters (nil when
+// tracing is off) for inclusion in a solver checkpoint.
+func (c *Comm) ObsCounterSnapshot() map[string]float64 {
+	return c.rec.CounterSnapshot()
+}
+
+// ObsMergeCounters folds previously checkpointed counters back into this
+// rank's recorder on restore, so post-restore metrics cover the whole
+// logical solve. No-op when tracing is off.
+func (c *Comm) ObsMergeCounters(m map[string]float64) {
+	c.rec.MergeCounters(m)
 }
 
 // MaxClock returns the slowest rank's virtual time — the modeled

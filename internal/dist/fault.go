@@ -80,10 +80,27 @@ func NamedFaultPlan(name string, seed int64) (*FaultPlan, error) {
 	return mk(seed), nil
 }
 
+// countingSource wraps the fault PRNG's source with a draw counter, so a
+// checkpoint can record the stream position as a plain integer cursor and
+// a restore can fast-forward to it by discarding draws — exact stream
+// reproduction without serializing math/rand internals.
+type countingSource struct {
+	src rand.Source
+	n   uint64 // raw Int63 draws consumed
+}
+
+func (s *countingSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Seed(seed int64) { s.src.Seed(seed) }
+
 // rankFaults is the per-rank instantiation of a FaultPlan: its own PRNG
 // stream plus the precomputed straggler/crash roles of this rank.
 type rankFaults struct {
 	plan     *FaultPlan
+	src      *countingSource
 	rng      *rand.Rand
 	straggle float64 // compute-time multiplier (1 = none)
 	crashAt  int     // op count at which this rank dies; -1 = never
@@ -95,7 +112,8 @@ func newRankFaults(p *FaultPlan, rank int) *rankFaults {
 	// even for adjacent (Seed, rank) pairs.
 	s := uint64(p.Seed)*0x9E3779B97F4A7C15 + uint64(rank+1)*0xBF58476D1CE4E5B9
 	s ^= s >> 31
-	f := &rankFaults{plan: p, rng: rand.New(rand.NewSource(int64(s))), straggle: 1, crashAt: -1}
+	src := &countingSource{src: rand.NewSource(int64(s))}
+	f := &rankFaults{plan: p, src: src, rng: rand.New(src), straggle: 1, crashAt: -1}
 	if p.StragglerEvery > 0 && p.StragglerFactor > 1 && (rank+1)%p.StragglerEvery == 0 {
 		f.straggle = p.StragglerFactor
 	}

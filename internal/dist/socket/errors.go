@@ -1,0 +1,89 @@
+// Package socket is the multi-process transport of package dist: each
+// rank runs as its own OS process and speaks a length-prefixed binary
+// protocol over a unix socket (or TCP) to a hub process, which routes
+// point-to-point messages, folds collectives in ascending rank order
+// (bit-identical to the in-process reducer — both share dist's fold
+// kernels), assembles checkpoint shards, and detects dead peers.
+//
+// The failure model is explicit and typed end to end: dialing failures
+// after bounded retry surface as *ConnectError, per-operation deadline
+// expiries and I/O faults as *OpError, and protocol damage as
+// *ProtocolError. World-level conditions reuse the dist sentinels
+// (dist.ErrWorldAborted, dist.ErrPeerGone) so the Comm layer translates
+// them exactly as it does for the in-process transport.
+package socket
+
+import (
+	"fmt"
+	"time"
+)
+
+// ConnectError reports that a rank could not reach the hub within its
+// dial-retry budget.
+type ConnectError struct {
+	Network  string
+	Addr     string
+	Attempts int
+	Err      error // last dial error
+}
+
+func (e *ConnectError) Error() string {
+	return fmt.Sprintf("socket: connect %s %s failed after %d attempts: %v",
+		e.Network, e.Addr, e.Attempts, e.Err)
+}
+
+func (e *ConnectError) Unwrap() error { return e.Err }
+
+// OpError reports a transport operation that failed at the socket layer:
+// a per-op deadline expired (Timeout reports true) or the connection
+// broke mid-operation.
+type OpError struct {
+	Op      string // "send", "recv", "reduce", "shard"
+	Rank    int    // local rank
+	Peer    int    // remote rank; -1 for hub-wide operations
+	Timeout bool
+	Err     error // underlying I/O error; nil for pure deadline expiry
+}
+
+func (e *OpError) Error() string {
+	verb := "failed"
+	if e.Timeout {
+		verb = "timed out"
+	}
+	if e.Peer >= 0 {
+		if e.Err != nil {
+			return fmt.Sprintf("socket: rank %d %s with peer %d %s: %v", e.Rank, e.Op, e.Peer, verb, e.Err)
+		}
+		return fmt.Sprintf("socket: rank %d %s with peer %d %s", e.Rank, e.Op, e.Peer, verb)
+	}
+	if e.Err != nil {
+		return fmt.Sprintf("socket: rank %d %s %s: %v", e.Rank, e.Op, verb, e.Err)
+	}
+	return fmt.Sprintf("socket: rank %d %s %s", e.Rank, e.Op, verb)
+}
+
+func (e *OpError) Unwrap() error { return e.Err }
+
+// ProtocolError reports bytes on the wire that do not parse as the
+// protocol: a bad frame type, an oversized frame, a malformed payload.
+type ProtocolError struct {
+	Reason string
+}
+
+func (e *ProtocolError) Error() string { return "socket: protocol error: " + e.Reason }
+
+// DefaultOpTimeout bounds one transport operation (a send accepted by the
+// hub, a receive turning up a frame, one collective wave completing). It
+// doubles as the transport's Grace: the dist watchdog extends its
+// no-progress budget by this much.
+const DefaultOpTimeout = 30 * time.Second
+
+// Dial-retry schedule: attempts spaced by an exponential backoff. The
+// schedule tolerates a hub that is still binding its listener (worker
+// processes race the supervisor) for a few seconds without masking a hub
+// that never comes up.
+const (
+	dialAttempts   = 24
+	dialBackoffMin = 10 * time.Millisecond
+	dialBackoffMax = 500 * time.Millisecond
+)

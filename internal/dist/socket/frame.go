@@ -1,0 +1,149 @@
+package socket
+
+import (
+	"encoding/binary"
+	"io"
+	"math"
+)
+
+// Frame types. Every frame on the wire is u32 payload-length followed by
+// the payload; the payload's first byte is the type.
+const (
+	fHello       = byte(iota + 1) // client→hub: u32 rank
+	fData                         // both ways: u32 from, u32 to, i64 tag, f64 time, f64 fdelay, u32 n, n×f64
+	fReduce                       // client→hub: u32 rank, u8 kind, f64 clock, u32 n, n×f64
+	fReduceReply                  // hub→client: f64 maxClock, u32 n, n×f64
+	fCrashed                      // client→hub: u32 rank (a planned in-world crash)
+	fPeerGone                     // hub→client: u32 rank (peer process died)
+	fAbort                        // both ways: no body; world teardown
+	fShard                        // client→hub: u32 n, n bytes (a ckpt-encoded single-rank checkpoint)
+	fBye                          // client→hub: no body; clean departure — the EOF that follows is not a death
+)
+
+// maxFrame bounds one frame's payload. The largest legitimate frames are
+// checkpoint shards carrying a full Krylov basis; 1 GiB is far above any
+// real solve and small enough to reject garbage lengths immediately.
+const maxFrame = 1 << 30
+
+// writeFrame sends one length-prefixed payload. The caller serializes
+// writers (a write mutex per connection).
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed payload.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, &ProtocolError{Reason: "frame length out of range"}
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// wire is an append-only payload builder mirroring the ckpt encoder.
+type wire struct{ buf []byte }
+
+func (w *wire) u8(v byte)     { w.buf = append(w.buf, v) }
+func (w *wire) u32(v uint32)  { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *wire) u64(v uint64)  { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *wire) i64(v int64)   { w.u64(uint64(v)) }
+func (w *wire) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *wire) vec(v []float64) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.f64(x)
+	}
+}
+
+// unwire is the bounds-checked payload parser; the first failure latches.
+type unwire struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (u *unwire) fail() {
+	if u.err == nil {
+		u.err = &ProtocolError{Reason: "truncated frame"}
+	}
+}
+
+func (u *unwire) need(n int) bool {
+	if u.err != nil {
+		return false
+	}
+	if u.off+n > len(u.buf) {
+		u.fail()
+		return false
+	}
+	return true
+}
+
+func (u *unwire) u8() byte {
+	if !u.need(1) {
+		return 0
+	}
+	v := u.buf[u.off]
+	u.off++
+	return v
+}
+
+func (u *unwire) u32() uint32 {
+	if !u.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(u.buf[u.off:])
+	u.off += 4
+	return v
+}
+
+func (u *unwire) u64() uint64 {
+	if !u.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(u.buf[u.off:])
+	u.off += 8
+	return v
+}
+
+func (u *unwire) i64() int64   { return int64(u.u64()) }
+func (u *unwire) f64() float64 { return math.Float64frombits(u.u64()) }
+
+func (u *unwire) vec() []float64 {
+	n := int(u.u32())
+	if n == 0 {
+		return nil
+	}
+	if !u.need(8 * n) {
+		return nil
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = u.f64()
+	}
+	return v
+}
+
+func (u *unwire) bytes() []byte {
+	n := int(u.u32())
+	if !u.need(n) {
+		return nil
+	}
+	b := u.buf[u.off : u.off+n]
+	u.off += n
+	return b
+}

@@ -1,0 +1,327 @@
+package socket
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"parapre/internal/ckpt"
+	"parapre/internal/dist"
+)
+
+// Hub is the rendezvous point of a multi-process world: it accepts one
+// connection per rank, routes point-to-point frames, folds collective
+// waves in ascending rank order (through the same fold kernels as the
+// in-process reducer, so the bits match), forwards checkpoint shards to
+// its Sink, and watches for dead peers. The hub lives in the supervisor
+// process; worker processes Dial it.
+type Hub struct {
+	p  int
+	ln net.Listener
+
+	// Sink, when non-nil, receives the checkpoint shards workers forward
+	// over their connections (typically a *ckpt.FileWriter).
+	sink ckpt.Sink
+
+	// onDeath, when non-nil, is called once per rank whose connection
+	// drops before Shutdown — the supervisor's respawn trigger.
+	onDeath func(rank int, err error)
+
+	mu       sync.Mutex
+	conns    []*hubConn
+	pending  [][]redWave // pending[rank]: queued contributions, wave order
+	dead     []bool
+	departed []bool // said goodbye (fBye): finished cleanly, not dead
+	aborted  bool
+	shutdown bool
+
+	wg sync.WaitGroup
+}
+
+type hubConn struct {
+	conn net.Conn
+	wmu  sync.Mutex
+}
+
+type redWave struct {
+	kind  dist.ReduceKind
+	clock float64
+	vec   []float64
+}
+
+// HubOptions configures a hub.
+type HubOptions struct {
+	Sink    ckpt.Sink                 // checkpoint shard destination (optional)
+	OnDeath func(rank int, err error) // dead-peer callback (optional)
+}
+
+// NewHub listens on network/addr ("unix" with a socket path, or "tcp"
+// with host:port — ":0" picks a free port) for a world of p ranks.
+func NewHub(network, addr string, p int, opt HubOptions) (*Hub, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Hub{
+		p:        p,
+		ln:       ln,
+		sink:     opt.Sink,
+		onDeath:  opt.OnDeath,
+		conns:    make([]*hubConn, p),
+		pending:  make([][]redWave, p),
+		dead:     make([]bool, p),
+		departed: make([]bool, p),
+	}, nil
+}
+
+// Addr returns the listener address workers should dial.
+func (h *Hub) Addr() string { return h.ln.Addr().String() }
+
+// Accept waits for all p ranks to connect and identify themselves, then
+// starts the per-connection router goroutines. It must be called before
+// any worker performs a transport operation (workers retry their dials,
+// so spawn-then-Accept is race-free).
+func (h *Hub) Accept(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for n := 0; n < h.p; n++ {
+		if d, ok := h.ln.(interface{ SetDeadline(time.Time) error }); ok {
+			_ = d.SetDeadline(deadline) // a dead listener fails the Accept below
+		}
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return &ConnectError{Network: h.ln.Addr().Network(), Addr: h.Addr(), Attempts: n, Err: err}
+		}
+		payload, err := readFrame(conn)
+		if err != nil {
+			_ = conn.Close() // the handshake failure wins
+			return &ConnectError{Network: h.ln.Addr().Network(), Addr: h.Addr(), Attempts: n, Err: err}
+		}
+		u := &unwire{buf: payload}
+		if u.u8() != fHello {
+			_ = conn.Close()
+			return &ProtocolError{Reason: "expected hello frame"}
+		}
+		rank := int(u.u32())
+		if u.err != nil || rank < 0 || rank >= h.p {
+			_ = conn.Close()
+			return &ProtocolError{Reason: "hello rank out of range"}
+		}
+		h.mu.Lock()
+		if h.conns[rank] != nil {
+			h.mu.Unlock()
+			_ = conn.Close()
+			return &ProtocolError{Reason: fmt.Sprintf("duplicate hello for rank %d", rank)}
+		}
+		h.conns[rank] = &hubConn{conn: conn}
+		h.mu.Unlock()
+	}
+	for r := 0; r < h.p; r++ {
+		h.wg.Add(1)
+		go h.serveConn(r)
+	}
+	return nil
+}
+
+// serveConn routes one rank's incoming frames until the connection drops.
+func (h *Hub) serveConn(rank int) {
+	defer h.wg.Done()
+	hc := h.conns[rank]
+	for {
+		payload, err := readFrame(hc.conn)
+		if err != nil {
+			h.peerDied(rank, err)
+			return
+		}
+		u := &unwire{buf: payload}
+		switch u.u8() {
+		case fData:
+			from := int(u.u32())
+			to := int(u.u32())
+			if u.err != nil || from != rank || to < 0 || to >= h.p {
+				h.peerDied(rank, &ProtocolError{Reason: "malformed data frame"})
+				return
+			}
+			// Forward verbatim: re-framing would only copy bytes.
+			h.forward(to, payload)
+		case fReduce:
+			r := int(u.u32())
+			kind := dist.ReduceKind(u.u8())
+			clock := u.f64()
+			vec := u.vec()
+			if u.err != nil || r != rank {
+				h.peerDied(rank, &ProtocolError{Reason: "malformed reduce frame"})
+				return
+			}
+			h.contribute(rank, redWave{kind: kind, clock: clock, vec: vec})
+		case fCrashed:
+			r := int(u.u32())
+			if u.err != nil || r < 0 || r >= h.p {
+				h.peerDied(rank, &ProtocolError{Reason: "malformed crashed frame"})
+				return
+			}
+			h.broadcastPeerGone(r, nil)
+		case fAbort:
+			h.broadcastAbort()
+		case fBye:
+			// Clean departure: the rank finished its solve. Stop routing for
+			// it without declaring a death — the EOF that follows is expected.
+			h.mu.Lock()
+			h.departed[rank] = true
+			h.mu.Unlock()
+			return
+		case fShard:
+			data := u.bytes()
+			if u.err != nil {
+				h.peerDied(rank, &ProtocolError{Reason: "malformed shard frame"})
+				return
+			}
+			h.putShard(rank, data)
+		default:
+			h.peerDied(rank, &ProtocolError{Reason: "unknown frame type"})
+			return
+		}
+	}
+}
+
+// forward relays a routed frame to its destination rank.
+func (h *Hub) forward(to int, payload []byte) {
+	h.mu.Lock()
+	hc := h.conns[to]
+	gone := h.dead[to] || h.departed[to]
+	h.mu.Unlock()
+	if hc == nil || gone {
+		return // sends to a dead or departed peer are silently discarded, per the Transport contract
+	}
+	hc.wmu.Lock()
+	defer hc.wmu.Unlock()
+	_ = hc.conn.SetWriteDeadline(time.Now().Add(DefaultOpTimeout))
+	// A failed write surfaces as that conn's read-side death.
+	_ = writeFrame(hc.conn, payload)
+}
+
+// contribute queues one rank's collective contribution and folds the wave
+// once every live rank has deposited its head contribution.
+func (h *Hub) contribute(rank int, wv redWave) {
+	h.mu.Lock()
+	h.pending[rank] = append(h.pending[rank], wv)
+	for r := 0; r < h.p; r++ {
+		if h.dead[r] {
+			// A dead rank can never contribute; the wave cannot complete.
+			// Clients learn through the peer-gone broadcast.
+			h.mu.Unlock()
+			return
+		}
+		if len(h.pending[r]) == 0 {
+			h.mu.Unlock()
+			return
+		}
+	}
+	// Pop the head wave of every rank and fold in ascending rank order —
+	// the identical arithmetic, in the identical order, as the in-process
+	// reducer.
+	waves := make([]redWave, h.p)
+	for r := 0; r < h.p; r++ {
+		waves[r] = h.pending[r][0]
+		h.pending[r] = h.pending[r][1:]
+	}
+	h.mu.Unlock()
+
+	acc := append([]float64(nil), waves[0].vec...)
+	op := dist.ReduceOp(waves[0].kind)
+	maxT := waves[0].clock
+	for r := 1; r < h.p; r++ {
+		op(acc, waves[r].vec)
+		if waves[r].clock > maxT {
+			maxT = waves[r].clock
+		}
+	}
+	var w wire
+	w.u8(fReduceReply)
+	w.f64(maxT)
+	w.vec(acc)
+	for r := 0; r < h.p; r++ {
+		h.forward(r, w.buf)
+	}
+}
+
+// putShard decodes a forwarded single-rank checkpoint shard and hands it
+// to the sink.
+func (h *Hub) putShard(rank int, data []byte) {
+	if h.sink == nil {
+		return
+	}
+	ck, err := ckpt.Decode(data)
+	if err != nil || len(ck.Ranks) != 1 {
+		h.peerDied(rank, &ProtocolError{Reason: "undecodable checkpoint shard"})
+		return
+	}
+	// Sink failures must not kill the solve; the previous durable
+	// checkpoint stays valid.
+	_ = h.sink.PutShard(ck.Seq, ck.Iter, h.p, &ck.Ranks[0])
+}
+
+// peerDied records a dropped connection, tells the survivors, and fires
+// the supervisor callback.
+func (h *Hub) peerDied(rank int, err error) {
+	h.mu.Lock()
+	if h.dead[rank] || h.shutdown {
+		h.mu.Unlock()
+		return
+	}
+	h.dead[rank] = true
+	cb := h.onDeath
+	h.mu.Unlock()
+	h.broadcastPeerGone(rank, nil)
+	if cb != nil {
+		cb(rank, err)
+	}
+}
+
+// broadcastPeerGone tells every live rank that rank is dead.
+func (h *Hub) broadcastPeerGone(rank int, _ error) {
+	h.mu.Lock()
+	h.dead[rank] = true
+	h.mu.Unlock()
+	var w wire
+	w.u8(fPeerGone)
+	w.u32(uint32(rank))
+	for r := 0; r < h.p; r++ {
+		if r != rank {
+			h.forward(r, w.buf)
+		}
+	}
+}
+
+// broadcastAbort relays a world abort to every rank.
+func (h *Hub) broadcastAbort() {
+	h.mu.Lock()
+	if h.aborted {
+		h.mu.Unlock()
+		return
+	}
+	h.aborted = true
+	h.mu.Unlock()
+	var w wire
+	w.u8(fAbort)
+	for r := 0; r < h.p; r++ {
+		h.forward(r, w.buf)
+	}
+}
+
+// Shutdown closes the listener and every rank connection and waits for
+// the router goroutines. Connection drops after Shutdown are not reported
+// as peer deaths.
+func (h *Hub) Shutdown() {
+	h.mu.Lock()
+	h.shutdown = true
+	conns := append([]*hubConn(nil), h.conns...)
+	h.mu.Unlock()
+	_ = h.ln.Close()
+	for _, hc := range conns {
+		if hc != nil {
+			_ = hc.conn.Close()
+		}
+	}
+	h.wg.Wait()
+}

@@ -27,39 +27,71 @@ func CG(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options) Re
 	ap := ws.vec(&ws.ap, n)
 
 	res := Result{}
-	matvec(r, x)
-	for i := range r {
-		r[i] = b[i] - r[i]
-	}
-	opt.charge(nf)
-	res.Initial = math.Sqrt(math.Max(dot(r, r), 0))
-	if !finite(res.Initial) {
-		res.Breakdown = true
-		res.Err = breakdownErr("CG", 0, "residual norm", res.Initial)
-		res.Final = res.Initial
-		return res
-	}
-	if opt.RecordHistory {
-		//lint:ignore allocfree History recording is opt-in diagnostics, excluded from the steady-state contract
-		res.History = append(res.History, res.Initial)
-	}
-	if res.Initial == 0 {
-		res.Converged = true
-		return res
+	it0 := 0
+	var rz float64
+	justResumed := false
+	if st := opt.Resume; st != nil {
+		// Mid-solve restore: the CG recurrence at an iteration boundary is
+		// exactly (x, r, p, rz) — z is rewritten before it is read.
+		if err := st.check("CG", n, 0); err != nil {
+			res.Err = err
+			return res
+		}
+		it0 = st.Iter
+		res.Iterations = it0
+		res.Initial = st.Initial
+		copy(x, st.X)
+		copy(r, st.R)
+		copy(p, st.P)
+		rz = st.RZ
+		if opt.RecordHistory {
+			//lint:ignore allocfree checkpoint restore is opt-in recovery, excluded from the steady-state contract
+			res.History = append(res.History[:0], st.History...)
+			if len(res.History) > 0 {
+				res.Final = res.History[len(res.History)-1]
+			}
+		}
+		justResumed = true
+	} else {
+		matvec(r, x)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		opt.charge(nf)
+		res.Initial = math.Sqrt(math.Max(dot(r, r), 0))
+		if !finite(res.Initial) {
+			res.Breakdown = true
+			res.Err = breakdownErr("CG", 0, "residual norm", res.Initial)
+			res.Final = res.Initial
+			return res
+		}
+		if opt.RecordHistory {
+			//lint:ignore allocfree History recording is opt-in diagnostics, excluded from the steady-state contract
+			res.History = append(res.History, res.Initial)
+		}
+		if res.Initial == 0 {
+			res.Converged = true
+			return res
+		}
+
+		if precond != nil {
+			precond(z, r)
+			paranoid.CheckFiniteVec("krylov: CG preconditioned residual", z)
+		} else {
+			copy(z, r)
+		}
+		copy(p, z)
+		rz = dot(r, z)
+		paranoid.CheckFinite("krylov: CG r·z", rz)
 	}
 	tolAbs := opt.Tol * res.Initial
 
-	if precond != nil {
-		precond(z, r)
-		paranoid.CheckFiniteVec("krylov: CG preconditioned residual", z)
-	} else {
-		copy(z, r)
-	}
-	copy(p, z)
-	rz := dot(r, z)
-	paranoid.CheckFinite("krylov: CG r·z", rz)
-
-	for it := 0; it < opt.MaxIters; it++ {
+	for it := it0; it < opt.MaxIters; it++ {
+		if opt.Checkpoint != nil && opt.CheckpointEvery > 0 && it > 0 &&
+			it%opt.CheckpointEvery == 0 && !justResumed {
+			opt.Checkpoint(captureCG(n, it, &res, x, r, p, rz))
+		}
+		justResumed = false
 		matvec(ap, p)
 		pap := dot(p, ap)
 		if !finite(pap) || !finite(rz) {

@@ -59,6 +59,26 @@ type Options struct {
 	// the sharing contract). nil keeps the historical allocate-per-call
 	// behavior.
 	Work *Workspace
+
+	// Checkpoint, when non-nil together with CheckpointEvery > 0, is
+	// called every CheckpointEvery iterations at an iteration boundary
+	// with a deep snapshot of the recurrence. In a distributed solve the
+	// iteration count is replicated across ranks, so every rank fires the
+	// hook at the same logical point — the collection of per-rank
+	// snapshots at one iteration is a globally consistent checkpoint. The
+	// hook must not mutate the snapshot's slices it shares with no one
+	// (they are deep copies) and should hand them to a durable sink (see
+	// the ckpt package).
+	Checkpoint      func(*State)
+	CheckpointEvery int
+
+	// Resume, when non-nil, restores the snapshot and continues the
+	// solve mid-recurrence instead of starting from the supplied x. The
+	// snapshot must match the solver (method, n, restart length);
+	// Result.Err carries a *StateMismatchError otherwise. A resumed run
+	// replays the exact arithmetic of the uninterrupted one, so residual
+	// histories and iteration counts are bit-identical.
+	Resume *State
 }
 
 // DefaultOptions mirrors the paper's solver configuration (§4.3):
@@ -147,56 +167,110 @@ func GMRES(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options)
 	totalIters := 0
 	var ref float64
 
-	for {
-		if totalIters > 0 {
-			res.Restarts++
-		}
-		// r = b − A·x.
-		matvec(r, x)
-		for i := range r {
-			r[i] = b[i] - r[i]
-		}
-		opt.charge(nf)
-		beta := dotNorm(dot, r)
-		if !finite(beta) {
-			res.Breakdown = true
-			res.Err = breakdownErr(method, totalIters, "residual norm", beta)
-			res.Final = beta
-			res.Iterations = totalIters
+	resume := opt.Resume
+	if resume != nil {
+		if err := resume.check(method, n, m); err != nil {
+			res.Err = err
 			return res
 		}
-		if ref == 0 {
-			ref = beta
-			res.Initial = beta
-			if opt.RecordHistory {
-				//lint:ignore allocfree History recording is opt-in diagnostics, excluded from the steady-state contract
-				res.History = append(res.History, beta)
+	}
+	justResumed := false
+	j0 := 0
+
+	for {
+		if resume != nil {
+			// Mid-cycle restore: rebuild the recurrence exactly as the
+			// interrupted run left it and re-enter the inner loop at J.
+			// Only the defined prefixes were captured; everything beyond
+			// them is rewritten before it is read (g is the exception and
+			// is therefore zeroed first).
+			st := resume
+			resume = nil
+			totalIters = st.Iter
+			res.Restarts = st.Restarts
+			res.Iterations = totalIters
+			ref = st.Ref
+			res.Initial = st.Initial
+			copy(x, st.X)
+			for i := range st.V {
+				copy(V[i], st.V[i])
 			}
-			if beta == 0 {
-				res.Converged = true
-				res.Final = 0
+			if Z != nil {
+				for i := range st.Z {
+					copy(Z[i], st.Z[i])
+				}
+			}
+			copy(H, st.H)
+			copy(cs, st.Cs)
+			copy(sn, st.Sn)
+			for i := range g {
+				g[i] = 0
+			}
+			copy(g, st.G)
+			if opt.RecordHistory {
+				//lint:ignore allocfree checkpoint restore is opt-in recovery, excluded from the steady-state contract
+				res.History = append(res.History[:0], st.History...)
+			}
+			j0 = st.J
+			justResumed = true
+		} else {
+			if totalIters > 0 {
+				res.Restarts++
+			}
+			// r = b − A·x.
+			matvec(r, x)
+			for i := range r {
+				r[i] = b[i] - r[i]
+			}
+			opt.charge(nf)
+			beta := dotNorm(dot, r)
+			if !finite(beta) {
+				res.Breakdown = true
+				res.Err = breakdownErr(method, totalIters, "residual norm", beta)
+				res.Final = beta
+				res.Iterations = totalIters
 				return res
 			}
-		}
-		if beta <= opt.Tol*ref {
-			res.Converged = true
-			res.Final = beta
-			return res
-		}
-		if totalIters >= opt.MaxIters {
-			res.Final = beta
-			return res
+			if ref == 0 {
+				ref = beta
+				res.Initial = beta
+				if opt.RecordHistory {
+					//lint:ignore allocfree History recording is opt-in diagnostics, excluded from the steady-state contract
+					res.History = append(res.History, beta)
+				}
+				if beta == 0 {
+					res.Converged = true
+					res.Final = 0
+					return res
+				}
+			}
+			if beta <= opt.Tol*ref {
+				res.Converged = true
+				res.Final = beta
+				return res
+			}
+			if totalIters >= opt.MaxIters {
+				res.Final = beta
+				return res
+			}
+
+			sparse.ScaleTo(V[0], 1/beta, r)
+			opt.charge(nf)
+			for i := range g {
+				g[i] = 0
+			}
+			g[0] = beta
+			j0 = 0
 		}
 
-		sparse.ScaleTo(V[0], 1/beta, r)
-		opt.charge(nf)
-		for i := range g {
-			g[i] = 0
-		}
-		g[0] = beta
-
-		j := 0
+		j := j0
 		for ; j < m && totalIters < opt.MaxIters; j++ {
+			if opt.Checkpoint != nil && opt.CheckpointEvery > 0 && totalIters > 0 &&
+				totalIters%opt.CheckpointEvery == 0 && !justResumed {
+				opt.Checkpoint(captureGMRES(method, n, m, totalIters, res.Restarts, j,
+					ref, &res, x, V, Z, H, cs, sn, g))
+			}
+			justResumed = false
 			// w = A·M⁻¹·v_j (right preconditioning).
 			vj := V[j]
 			if precond != nil {

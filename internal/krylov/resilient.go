@@ -2,6 +2,7 @@ package krylov
 
 import (
 	"fmt"
+	"strings"
 
 	"parapre/internal/dist"
 	"parapre/internal/dsys"
@@ -20,7 +21,7 @@ type Stage struct {
 // RecoveryStep records one solve attempt of the escalation ladder.
 type RecoveryStep struct {
 	Stage      string
-	Attempt    int // 1 = first try on this stage, 2 = fresh-restart retry
+	Attempt    int // 0 = resume-from-checkpoint, 1 = first try on this stage, 2 = fresh-restart retry
 	Iterations int
 	Converged  bool
 	Err        error // the attempt's typed solver/communication error, if any
@@ -36,13 +37,20 @@ type RecoveryLog struct {
 
 // ResilientSolve runs the distributed solve with graceful degradation:
 //
-//  1. solve with the first stage's preconditioner;
-//  2. on a breakdown (NaN poisoning, annihilated rotation, communication
+//  1. with opt.Resume set, continue the checkpointed recurrence mid-solve
+//     under the stage whose name matches the snapshot's PrecondID — the
+//     cheapest recovery: no iterations are repeated. A snapshot whose
+//     preconditioner is not on the ladder is refused (the basis is only
+//     meaningful under the M that built it) and recorded as a failed
+//     attempt 0;
+//  2. otherwise (or if the resume attempt fails) solve with the first
+//     stage's preconditioner from scratch;
+//  3. on a breakdown (NaN poisoning, annihilated rotation, communication
 //     fault) discard the contaminated iterate and retry the same stage
 //     once from a fresh zero restart;
-//  3. if the stage still fails, escalate to the next stage (a stronger or
+//  4. if the stage still fails, escalate to the next stage (a stronger or
 //     alternative preconditioner) and repeat;
-//  4. when the ladder is exhausted, return the last result with its typed
+//  5. when the ladder is exhausted, return the last result with its typed
 //     error intact.
 //
 // Plain non-convergence (MaxIters reached without a breakdown) skips the
@@ -56,6 +64,53 @@ func ResilientSolve(c *dist.Comm, s *dsys.System, stages []Stage, b, x []float64
 	log := &RecoveryLog{}
 	var res Result
 	first := true
+	if ck := opt.Resume; ck != nil {
+		opt.Resume = nil
+		if si := stageFor(stages, ck.PrecondID); si < 0 {
+			// No stage on the ladder matches the checkpointed
+			// preconditioner: refuse the basis and fall through to a fresh
+			// solve, recording the typed refusal.
+			log.Steps = append(log.Steps, RecoveryStep{
+				Stage:   ck.PrecondID,
+				Attempt: 0,
+				Err:     &StateMismatchError{Field: "precond", Want: stageNames(stages), Got: ck.PrecondID},
+			})
+		} else {
+			st := stages[si]
+			var prec Prec
+			if st.Prec != nil {
+				prec = st.Prec()
+			}
+			ropt := opt
+			ropt.Resume = ck
+			var sp dist.SpanHandle
+			if c.ObsEnabled() {
+				sp = c.BeginSpan(obs.KindAttempt, st.Name+"#resume")
+			}
+			res = Distributed(c, s, prec, b, x, ropt)
+			if c.ObsEnabled() {
+				c.EndSpan(sp)
+				c.ObsCount("recovery_attempts", 1)
+				if res.Err != nil {
+					c.ObsCount("recovery_attempt_failures", 1)
+				}
+			}
+			log.Steps = append(log.Steps, RecoveryStep{
+				Stage:      st.Name,
+				Attempt:    0,
+				Iterations: res.Iterations,
+				Converged:  res.Converged,
+				Err:        res.Err,
+			})
+			if res.Converged {
+				log.Recovered = true
+				return res, log
+			}
+			// A failed resume may have contaminated the iterate; the ladder
+			// below starts from a zero restart.
+			first = false
+		}
+	}
 	for si, st := range stages {
 		var prec Prec
 		if st.Prec != nil {
@@ -99,4 +154,24 @@ func ResilientSolve(c *dist.Comm, s *dsys.System, stages []Stage, b, x []float64
 		}
 	}
 	return res, log
+}
+
+// stageFor returns the index of the stage whose name matches the
+// checkpoint's preconditioner identity, or -1.
+func stageFor(stages []Stage, id string) int {
+	for i, st := range stages {
+		if st.Name == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// stageNames renders the ladder's stage names for mismatch diagnostics.
+func stageNames(stages []Stage) string {
+	names := make([]string, len(stages))
+	for i, st := range stages {
+		names[i] = st.Name
+	}
+	return strings.Join(names, "|")
 }

@@ -34,6 +34,8 @@ var errTypePkgs = map[string]bool{
 	"ilu":    true,
 	"krylov": true,
 	"dist":   true,
+	"socket": true,
+	"ckpt":   true,
 }
 
 var ErrType = &ProgramAnalyzer{

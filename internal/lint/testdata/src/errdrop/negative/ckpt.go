@@ -1,0 +1,39 @@
+package negative
+
+// The durability APIs handled properly: the shard-write error is either
+// propagated or explicitly discarded with the blank identifier (the
+// documented "previous durable checkpoint stays valid" decision), and
+// transport teardown uses the deferred-cleanup idiom.
+
+type rankState struct{}
+
+type sink struct{}
+
+func (sink) PutShard(seq, iter uint64, p int, rs *rankState) error { return nil }
+
+type client struct{}
+
+func (client) Close() error { return nil }
+
+func load(path string) (*rankState, error) { return nil, nil }
+
+// Snapshot propagates the shard-write failure.
+func Snapshot(s sink, rs *rankState) error {
+	return s.PutShard(1, 10, 4, rs)
+}
+
+// BestEffortSnapshot makes the drop explicit and reviewable: a sink
+// failure must not kill the solve, the previous checkpoint stays valid.
+func BestEffortSnapshot(s sink, rs *rankState) {
+	_ = s.PutShard(1, 10, 4, rs)
+}
+
+// Restore handles the load error and defers the transport close.
+func Restore(c client, path string) (*rankState, error) {
+	defer c.Close()
+	rs, err := load(path)
+	if err != nil {
+		return nil, err
+	}
+	return rs, nil
+}

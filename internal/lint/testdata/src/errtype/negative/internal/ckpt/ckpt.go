@@ -1,0 +1,47 @@
+// Negative errtype fixture for the checkpoint codec package: every
+// decode failure is a documented typed error, a wrap of one, or a
+// passthrough. The analyzer must stay silent.
+package ckpt
+
+import "fmt"
+
+// CorruptError is the typed framing/checksum failure.
+type CorruptError struct {
+	Offset int
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("ckpt: corrupt at byte %d: %s", e.Offset, e.Reason)
+}
+
+// VersionError is the typed format-version skew.
+type VersionError struct{ Got, Want uint32 }
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("ckpt: version %d, want %d", e.Got, e.Want)
+}
+
+// Decode returns only the documented typed errors.
+func Decode(data []byte) error {
+	if len(data) < 4 {
+		return &CorruptError{Offset: len(data), Reason: "truncated header"}
+	}
+	if data[0] != 'P' {
+		return &CorruptError{Offset: 0, Reason: "bad magic"}
+	}
+	if data[1] != 1 {
+		return &VersionError{Got: uint32(data[1]), Want: 1}
+	}
+	if err := checkBody(data); err != nil {
+		return fmt.Errorf("ckpt: body: %w", err)
+	}
+	return nil
+}
+
+func checkBody(data []byte) error {
+	if len(data) > 1<<20 {
+		return &CorruptError{Offset: 1 << 20, Reason: "oversized"}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+// Negative errtype fixture for the socket transport package: the
+// documented typed errors (ConnectError, OpError), sentinel wraps and
+// callee passthroughs. The analyzer must stay silent.
+package socket
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrPeerGone is the documented sentinel.
+var ErrPeerGone = errors.New("socket: peer gone")
+
+// ConnectError is the typed rendezvous failure.
+type ConnectError struct {
+	Addr     string
+	Attempts int
+	Err      error
+}
+
+func (e *ConnectError) Error() string {
+	return fmt.Sprintf("socket: connect %s failed after %d attempts: %v", e.Addr, e.Attempts, e.Err)
+}
+func (e *ConnectError) Unwrap() error { return e.Err }
+
+// OpError is the typed per-operation failure.
+type OpError struct {
+	Op      string
+	Rank    int
+	Timeout bool
+	Err     error
+}
+
+func (e *OpError) Error() string {
+	return fmt.Sprintf("socket: %s on rank %d: %v", e.Op, e.Rank, e.Err)
+}
+func (e *OpError) Unwrap() error { return e.Err }
+
+// Client simulates the transport client whose methods are package API.
+type Client struct{ rank int }
+
+// Dial returns only the typed connect failure.
+func Dial(addr string, rank int) (*Client, error) {
+	if err := probe(addr); err != nil {
+		return nil, &ConnectError{Addr: addr, Attempts: 1, Err: err}
+	}
+	return &Client{rank: rank}, nil
+}
+
+// Recv returns typed op errors, sentinel wraps, and passthroughs.
+func (c *Client) Recv(from int) error {
+	if from < 0 {
+		return &OpError{Op: "recv", Rank: c.rank, Err: ErrPeerGone}
+	}
+	if from == c.rank {
+		return fmt.Errorf("socket: recv loopback: %w", ErrPeerGone)
+	}
+	if err := probe("peer"); err != nil {
+		return err // passthrough from a callee: not fresh
+	}
+	return nil
+}
+
+func probe(s string) error {
+	if s == "" {
+		return &OpError{Op: "probe", Err: ErrPeerGone}
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+// Positive errtype fixture for the checkpoint codec package: decode
+// failures surfaced as fresh untyped errors instead of the documented
+// CorruptError/VersionError types.
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Decode is exported API: hostile bytes must map to typed errors, so a
+// raw errors.New here crosses the boundary untyped.
+func Decode(data []byte) error {
+	if len(data) < 4 {
+		return errors.New("short checkpoint") // WANT errtype
+	}
+	if data[0] != 'P' {
+		return fmt.Errorf("bad magic %q", data[0]) // WANT errtype
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+// Positive errtype fixture for the socket transport package: fresh
+// untyped errors escaping the exported Dial/Client API instead of the
+// documented ConnectError/OpError types.
+package socket
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Client simulates the transport client whose methods are package API.
+type Client struct{ rank int }
+
+// Dial is exported API: a raw errors.New crossing the boundary is the
+// exact failure the typed-error audit exists to catch.
+func Dial(addr string, rank int) (*Client, error) {
+	if addr == "" {
+		return nil, errors.New("empty hub address") // WANT errtype
+	}
+	if rank < 0 {
+		return nil, fmt.Errorf("bad rank %d", rank) // WANT errtype
+	}
+	return &Client{rank: rank}, nil
+}
+
+// Send is an exported method on an exported type: audited too.
+func (c *Client) Send(to int) error {
+	if to == c.rank {
+		return errors.New("self-send") // WANT errtype
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package mprun_test
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"parapre/internal/cases"
+	"parapre/internal/ckpt"
+	"parapre/internal/core"
+	"parapre/internal/dist/socket"
+	"parapre/internal/mprun"
+	"parapre/internal/precond"
+)
+
+// The re-exec pattern: the test binary doubles as the rank worker. When
+// spawned by the supervisor with the sentinel first argument it runs one
+// rank of the solve and exits — exactly the shape of solvepde's
+// -socket-worker mode, but self-contained in the test binary.
+const workerSentinel = "mprun-worker"
+
+func TestMain(m *testing.M) {
+	if len(os.Args) > 1 && os.Args[1] == workerSentinel {
+		os.Exit(workerMain(os.Args[2:]))
+	}
+	os.Exit(m.Run())
+}
+
+// Fixed solve every worker (and the in-process reference) runs: ~15
+// iterations, checkpointed every 5, with the chaos rank self-SIGKILLing
+// right after the iteration-10 checkpoint — a death mid-recurrence with a
+// resumable snapshot behind it.
+const (
+	tcase     = "tc7-jump"
+	tsize     = 17
+	tprocs    = 4
+	tevery    = 5
+	tdieIters = 7
+)
+
+func workerConfig() core.Config {
+	cfg := core.DefaultConfig(tprocs, precond.KindSchur1)
+	cfg.Solver.RecordHistory = true
+	cfg.CheckpointEvery = tevery
+	return cfg
+}
+
+func workerMain(argv []string) int {
+	fs := flag.NewFlagSet(workerSentinel, flag.ExitOnError)
+	rank := fs.Int("rank", -1, "")
+	hubNet := fs.String("hub-net", "unix", "")
+	hubAddr := fs.String("hub-addr", "", "")
+	die := fs.Bool("die", false, "")
+	restore := fs.String("restore", "", "")
+	out := fs.String("out", "", "")
+	fs.Parse(argv) //nolint:errcheck // ExitOnError
+
+	c, err := cases.ByName(tcase)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "worker:", err)
+		return 1
+	}
+	prob := c.Build(tsize)
+	cfg := workerConfig()
+	if *restore != "" {
+		ck, err := ckpt.Load(*restore)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "worker restore:", err)
+			return 1
+		}
+		cfg.Restore = ck
+	}
+
+	cl, err := socket.Dial(*hubNet, *hubAddr, tprocs, *rank, socket.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "worker dial:", err)
+		return 1
+	}
+	defer cl.Close()
+
+	var sink ckpt.Sink = cl
+	if *die {
+		sink = mprun.DieAtSink{Sink: cl, Iter: tdieIters}
+	}
+	res, _, err := core.SolveRank(prob, cfg, *rank, cl, sink)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "worker solve:", err)
+		return 1
+	}
+	if *rank == 0 && *out != "" {
+		line := fmt.Sprintf("%d %d\n", res.Iterations, math.Float64bits(res.Final/res.Initial))
+		if err := os.WriteFile(*out, []byte(line), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "worker out:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// TestSuperviseResumesAfterSIGKILL is the end-to-end durability gate over
+// real OS processes: rank 1 SIGKILLs itself (uncatchable) right after the
+// iteration-12 checkpoint, the supervisor respawns the world with
+// -restore, and the resumed run must land on the same iteration count and
+// bit-identical final residual as the uninterrupted in-process solve.
+func TestSuperviseResumesAfterSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a multi-process world")
+	}
+	c, err := cases.ByName(tcase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := c.Build(tsize)
+	cfg := workerConfig()
+	cfg.CheckpointSink = discardSink{} // reference run: checkpoint hook on, durability off
+	base, err := core.Solve(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Iterations <= tdieIters {
+		t.Fatalf("reference solve took %d iterations, death at %d never triggers", base.Iterations, tdieIters)
+	}
+
+	dir := t.TempDir()
+	ckptPath := filepath.Join(dir, "solve.ckpt")
+	outPath := filepath.Join(dir, "rank0.out")
+	var logBuf strings.Builder
+	err = mprun.Supervise(mprun.Options{
+		P:              tprocs,
+		CheckpointPath: ckptPath,
+		AcceptTimeout:  30 * time.Second,
+		Log:            &logBuf,
+		Args: func(rank int, network, addr string, restore bool) []string {
+			args := []string{
+				workerSentinel,
+				"-rank", strconv.Itoa(rank),
+				"-hub-net", network,
+				"-hub-addr", addr,
+				"-out", outPath,
+			}
+			if restore {
+				args = append(args, "-restore", ckptPath)
+			} else if rank == 1 {
+				args = append(args, "-die")
+			}
+			return args
+		},
+	})
+	if err != nil {
+		t.Fatalf("Supervise: %v\nsupervisor log:\n%s", err, logBuf.String())
+	}
+	raw0, _ := os.ReadFile(outPath)
+	if !strings.Contains(logBuf.String(), "respawning world from checkpoint") {
+		t.Fatalf("supervisor never respawned from the checkpoint; out=%q log:\n%s", raw0, logBuf.String())
+	}
+
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("rank 0 wrote no result: %v", err)
+	}
+	var gotIters int
+	var gotBits uint64
+	if _, err := fmt.Sscanf(string(raw), "%d %d", &gotIters, &gotBits); err != nil {
+		t.Fatalf("rank 0 result %q: %v", raw, err)
+	}
+	if gotIters != base.Iterations {
+		t.Fatalf("resumed world took %d iterations, uninterrupted in-process %d", gotIters, base.Iterations)
+	}
+	if gotBits != math.Float64bits(base.Residual) {
+		t.Fatalf("resumed residual bits %x, uninterrupted %x", gotBits, math.Float64bits(base.Residual))
+	}
+}
+
+// discardSink satisfies ckpt.Sink for the reference run so both runs
+// execute the same checkpoint hook (the hook must not perturb the solve).
+type discardSink struct{}
+
+func (discardSink) PutShard(seq, iter uint64, p int, rs *ckpt.RankState) error { return nil }

@@ -338,3 +338,28 @@ func (r *RankRecorder) CountPhase(name, phase string, v float64) {
 	}
 	r.counters[name+"/"+phase] += v
 }
+
+// CounterSnapshot returns a copy of the per-rank counters — the piece of
+// the observability state a solver checkpoint carries, so counts survive
+// process death. Nil on a nil recorder.
+func (r *RankRecorder) CounterSnapshot() map[string]float64 {
+	if r == nil || len(r.counters) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// MergeCounters adds previously snapshotted counter values back into the
+// recorder — the checkpoint-restore path. No-op on a nil recorder.
+func (r *RankRecorder) MergeCounters(m map[string]float64) {
+	if r == nil {
+		return
+	}
+	for k, v := range m {
+		r.counters[k] += v
+	}
+}
