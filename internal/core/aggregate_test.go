@@ -1,0 +1,115 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"parapre/internal/dsys"
+	"parapre/internal/krylov"
+)
+
+func TestAggregateSurfacesNonRankZeroError(t *testing.T) {
+	// Rank 0 healthy (an empty rank runs the replicated recurrence but
+	// never factors or exchanges), rank 2 broken: the historical
+	// results[0]-only aggregation dropped rank 2's error entirely.
+	boom := &krylov.BreakdownError{Method: "FGMRES", Iteration: 7, Quantity: "q", Value: 0}
+	results := []krylov.Result{
+		{Iterations: 7, Converged: false},
+		{Iterations: 7, Converged: false},
+		{Iterations: 7, Converged: false, Err: boom, Breakdown: true},
+		{Iterations: 7, Converged: false},
+	}
+	res := &Result{}
+	breakdown := aggregateResult(res, results, make([]*krylov.RecoveryLog, 4))
+	if !breakdown {
+		t.Error("breakdown flag lost")
+	}
+	if res.ErrRank != 2 {
+		t.Errorf("ErrRank = %d, want 2", res.ErrRank)
+	}
+	var rse *RankSolveError
+	if !errors.As(res.Err, &rse) || rse.Rank != 2 {
+		t.Fatalf("Err = %v, want RankSolveError{Rank: 2}", res.Err)
+	}
+	if !errors.Is(res.Err, krylov.ErrBreakdown) {
+		t.Error("rank attribution broke the errors.Is chain")
+	}
+}
+
+func TestAggregateKeepsRankZeroErrorBare(t *testing.T) {
+	// Replicated errors (the common case) must stay exactly rank 0's —
+	// no wrapper, no behavior change for existing callers.
+	boom := &krylov.BreakdownError{Method: "FGMRES", Iteration: 3, Quantity: "q", Value: 0}
+	results := []krylov.Result{{Err: boom}, {Err: boom}}
+	res := &Result{}
+	aggregateResult(res, results, make([]*krylov.RecoveryLog, 2))
+	if res.Err != error(boom) || res.ErrRank != 0 {
+		t.Fatalf("Err = %v (rank %d), want the bare rank-0 error", res.Err, res.ErrRank)
+	}
+}
+
+func TestAggregateNoErrors(t *testing.T) {
+	res := &Result{}
+	aggregateResult(res, []krylov.Result{{Converged: true}, {Converged: true}},
+		make([]*krylov.RecoveryLog, 2))
+	if res.Err != nil || res.ErrRank != -1 {
+		t.Fatalf("clean solve: Err=%v ErrRank=%d", res.Err, res.ErrRank)
+	}
+}
+
+func TestAggregateJoinsHiddenExchangeCause(t *testing.T) {
+	// Every rank breaks down on the poisoned recurrence, but only rank 2
+	// holds the communication root cause; the aggregate must carry both.
+	bare := &krylov.BreakdownError{Method: "FGMRES", Iteration: 1, Quantity: "norm", Value: 0}
+	ex := &dsys.ExchangeError{Rank: 2, Peer: 3, Reason: "non-finite payload"}
+	results := []krylov.Result{
+		{Err: bare, Breakdown: true},
+		{Err: bare, Breakdown: true},
+		{Err: errors.Join(bare, ex), Breakdown: true},
+		{Err: bare, Breakdown: true},
+	}
+	res := &Result{}
+	aggregateResult(res, results, make([]*krylov.RecoveryLog, 4))
+	if res.ErrRank != 0 {
+		t.Errorf("ErrRank = %d, want 0 (first non-nil)", res.ErrRank)
+	}
+	var gotEx *dsys.ExchangeError
+	if !errors.As(res.Err, &gotEx) || gotEx.Rank != 2 {
+		t.Fatalf("Err = %v, want the rank-2 exchange cause joined", res.Err)
+	}
+	var rse *RankSolveError
+	if !errors.As(res.Err, &rse) || rse.Rank != 2 {
+		t.Fatalf("Err = %v, want the cause attributed to rank 2", res.Err)
+	}
+	if !errors.Is(res.Err, krylov.ErrBreakdown) {
+		t.Error("join broke the errors.Is chain")
+	}
+}
+
+func TestMergeRecoveryLogs(t *testing.T) {
+	boom := &krylov.BreakdownError{Method: "FGMRES", Iteration: 5, Quantity: "q", Value: 0}
+	logs := []*krylov.RecoveryLog{
+		{Steps: []krylov.RecoveryStep{
+			{Stage: "Block 2", Attempt: 1, Iterations: 5},
+			{Stage: "Block 2", Attempt: 2, Iterations: 9, Converged: true},
+		}, Recovered: true},
+		{Steps: []krylov.RecoveryStep{
+			{Stage: "Block 2", Attempt: 1, Iterations: 5, Err: boom},
+			{Stage: "Block 2", Attempt: 2, Iterations: 9, Converged: true},
+		}, Recovered: true},
+	}
+	merged := mergeRecoveryLogs(logs)
+	if merged == nil || len(merged.Steps) != 2 || !merged.Recovered {
+		t.Fatalf("merged = %+v", merged)
+	}
+	var rse *RankSolveError
+	if !errors.As(merged.Steps[0].Err, &rse) || rse.Rank != 1 {
+		t.Fatalf("step 0 err = %v, want rank-1 attribution", merged.Steps[0].Err)
+	}
+	if merged.Steps[1].Err != nil {
+		t.Errorf("step 1 err = %v, want nil", merged.Steps[1].Err)
+	}
+	if mergeRecoveryLogs(make([]*krylov.RecoveryLog, 3)) != nil {
+		t.Error("nil logs must merge to nil")
+	}
+}

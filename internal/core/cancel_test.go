@@ -1,0 +1,163 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"parapre/internal/cases"
+	"parapre/internal/core"
+	"parapre/internal/krylov"
+	"parapre/internal/precond"
+)
+
+func buildProblem(t *testing.T, name string, size int) *core.Problem {
+	t.Helper()
+	c, err := cases.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Build(size)
+}
+
+func TestSolveCtxCancelMidSolve(t *testing.T) {
+	prob := buildProblem(t, "tc1-poisson2d", 33)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := core.DefaultConfig(4, precond.KindBlock1)
+	cfg.Ctx = ctx
+	// Every rank reports progress; the cancel is idempotent. The stop vote
+	// is collective, so all ranks leave at the same iteration boundary.
+	cfg.Solver.Progress = func(it int, _ float64) {
+		if it >= 3 {
+			cancel()
+		}
+	}
+	res, err := core.Solve(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.Err, krylov.ErrCanceled) {
+		t.Fatalf("Err = %v, want ErrCanceled", res.Err)
+	}
+	if res.Converged {
+		t.Fatal("canceled solve reported converged")
+	}
+	// Canceled at the boundary right after the signal: within one Krylov
+	// iteration of the cancel point.
+	if res.Iterations != 3 {
+		t.Errorf("Iterations = %d, want exactly 3 (cancel observed at the next boundary)", res.Iterations)
+	}
+}
+
+func TestSolveCtxCanceledBeforeStart(t *testing.T) {
+	prob := buildProblem(t, "tc1-poisson2d", 17)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := core.DefaultConfig(4, precond.KindBlock2)
+	cfg.Ctx = ctx
+	res, err := core.Solve(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.Err, krylov.ErrCanceled) || res.Iterations != 0 {
+		t.Fatalf("pre-canceled solve: Err=%v Iterations=%d", res.Err, res.Iterations)
+	}
+}
+
+// A live but never-canceled context installs the per-iteration stop vote;
+// the solve must stay bit-identical — history, iteration count and modeled
+// times — to one with no context at all.
+func TestSolveCtxNeverCanceledBitIdentical(t *testing.T) {
+	prob := buildProblem(t, "tc1-poisson2d", 33)
+	run := func(ctx context.Context) *core.Result {
+		cfg := core.DefaultConfig(4, precond.KindSchur1)
+		cfg.Ctx = ctx
+		cfg.Solver.RecordHistory = true
+		res, err := core.Solve(prob, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	polled := run(ctx)
+	cancel()
+	if ref.Iterations != polled.Iterations || ref.SolveTime != polled.SolveTime ||
+		ref.SetupTime != polled.SetupTime {
+		t.Fatalf("modeled results diverged: %d/%v/%v vs %d/%v/%v",
+			ref.Iterations, ref.SetupTime, ref.SolveTime,
+			polled.Iterations, polled.SetupTime, polled.SolveTime)
+	}
+	if len(ref.History) != len(polled.History) {
+		t.Fatalf("history length %d vs %d", len(ref.History), len(polled.History))
+	}
+	for i := range ref.History {
+		if ref.History[i] != polled.History[i] {
+			t.Fatalf("history[%d]: %v vs %v", i, ref.History[i], polled.History[i])
+		}
+	}
+}
+
+func TestSessionSolveCtxCancel(t *testing.T) {
+	prob := buildProblem(t, "tc1-poisson2d", 33)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := core.DefaultConfig(4, precond.KindBlock2)
+	cfg.Ctx = ctx
+	var fired atomic.Bool
+	cfg.Solver.Progress = func(it int, _ float64) {
+		if it >= 2 {
+			fired.Store(true)
+			cancel()
+		}
+	}
+	sess, err := core.NewSession(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired.Load() {
+		t.Fatal("progress hook never reached the cancel point")
+	}
+	if !errors.Is(res.Err, krylov.ErrCanceled) {
+		t.Fatalf("Err = %v, want ErrCanceled", res.Err)
+	}
+	if res.Iterations != 2 {
+		t.Errorf("Iterations = %d, want exactly 2", res.Iterations)
+	}
+}
+
+// Cancellation must terminate the resilient escalation ladder: no fresh-
+// restart retry, no fallback stage — one attempt, ended by the caller.
+func TestResilientCancelDoesNotEscalate(t *testing.T) {
+	prob := buildProblem(t, "tc1-poisson2d", 33)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := core.DefaultConfig(4, precond.KindBlock1)
+	cfg.Ctx = ctx
+	cfg.Resilient = true
+	cfg.Solver.Progress = func(it int, _ float64) {
+		if it >= 2 {
+			cancel()
+		}
+	}
+	res, err := core.Solve(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.Err, krylov.ErrCanceled) {
+		t.Fatalf("Err = %v, want ErrCanceled", res.Err)
+	}
+	if res.Recovery == nil || len(res.Recovery.Steps) != 1 {
+		t.Fatalf("recovery log %+v, want exactly one (canceled) attempt", res.Recovery)
+	}
+	if res.Recovery.Recovered {
+		t.Error("canceled solve marked recovered")
+	}
+}

@@ -115,6 +115,29 @@ func checkpointSink(cfg Config) ckpt.Sink {
 // duplicated setup cost from the modeled time.
 func rankSolverOptions(cfg Config, c *dist.Comm, sink ckpt.Sink, restore *ckpt.Checkpoint) krylov.Options {
 	sopt := cfg.Solver
+	if sopt.Work != nil && cfg.P > 1 {
+		// A caller-supplied workspace in Config.Solver would be copied to
+		// every one of the P rank goroutines and shared — a data race. Drop
+		// it; each rank allocates (or Session leases) its own.
+		sopt.Work = nil
+	}
+	if cfg.Ctx != nil {
+		if done := cfg.Ctx.Done(); done != nil {
+			// Every rank polls and votes every iteration regardless of what
+			// it observed locally — the vote is a collective and must appear
+			// in the same position of every rank's op sequence. The OR of
+			// the votes makes the stop decision identical everywhere.
+			sopt.Stop = func() bool {
+				v := false
+				select {
+				case <-done:
+					v = true
+				default:
+				}
+				return c.VoteStop(v)
+			}
+		}
+	}
 	if sink != nil && cfg.CheckpointEvery > 0 {
 		sopt.CheckpointEvery = cfg.CheckpointEvery
 		pid := precondLabel(cfg)
@@ -195,6 +218,10 @@ func SolveRank(p *Problem, cfg Config, rank int, tr dist.Transport, sink ckpt.Si
 	if cfg.Solver.Restart == 0 {
 		cfg.Solver = DefaultConfig(cfg.P, cfg.Precond).Solver
 	}
+	// A context is per-process: if only this worker polled the stop vote
+	// the worlds' op sequences would diverge. Cancellation of a socket
+	// world is the supervisor's job (signal the processes).
+	cfg.Ctx = nil
 	if err := validateRestore(cfg); err != nil {
 		return krylov.Result{}, dist.Stats{}, err
 	}

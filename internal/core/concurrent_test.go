@@ -1,0 +1,168 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"parapre/internal/core"
+	"parapre/internal/krylov"
+	"parapre/internal/obs"
+	"parapre/internal/precond"
+)
+
+// A session's solves must be safe to overlap — the gateway multiplexes
+// requests over one cached session per problem spec. Run under -race.
+func TestConcurrentSolvesIdentical(t *testing.T) {
+	prob := buildProblem(t, "tc1-poisson2d", 33)
+	cfg := core.DefaultConfig(4, precond.KindBlock2)
+	cfg.Solver.RecordHistory = true
+	sess, err := core.NewSession(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.Concurrent() {
+		t.Fatal("Block 2 session should allow overlapping solves")
+	}
+	const n = 8
+	results := make([]*core.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = sess.Solve(nil)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("solve %d: %v", i, errs[i])
+		}
+	}
+	ref := results[0]
+	if !ref.Converged {
+		t.Fatal("reference solve did not converge")
+	}
+	for i := 1; i < n; i++ {
+		r := results[i]
+		if r.Iterations != ref.Iterations || r.SolveTime != ref.SolveTime || r.Residual != ref.Residual {
+			t.Fatalf("solve %d diverged: %d/%v/%v vs %d/%v/%v",
+				i, r.Iterations, r.SolveTime, r.Residual, ref.Iterations, ref.SolveTime, ref.Residual)
+		}
+		if len(r.History) != len(ref.History) {
+			t.Fatalf("solve %d history length %d vs %d", i, len(r.History), len(ref.History))
+		}
+		for j := range ref.History {
+			if r.History[j] != ref.History[j] {
+				t.Fatalf("solve %d history[%d]: %v vs %v", i, j, r.History[j], ref.History[j])
+			}
+		}
+	}
+}
+
+// Communicating preconditioners cannot overlap; the session serializes
+// them internally, so concurrent callers still get correct (identical)
+// answers rather than a deadlock or a race.
+func TestConcurrentSolvesSerialOnlySession(t *testing.T) {
+	prob := buildProblem(t, "tc1-poisson2d", 33)
+	cfg := core.DefaultConfig(4, precond.KindSchur1)
+	sess, err := core.NewSession(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Concurrent() {
+		t.Fatal("Schur 1 session must report serial-only")
+	}
+	const n = 4
+	results := make([]*core.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = sess.Solve(nil)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("solve %d: %v", i, errs[i])
+		}
+		if results[i].Iterations != results[0].Iterations || results[i].SolveTime != results[0].SolveTime {
+			t.Fatalf("solve %d diverged from solve 0", i)
+		}
+	}
+}
+
+// Per-solve overrides compose with concurrency: each solve gets its own
+// collector and progress stream, and canceling one must not disturb the
+// others.
+func TestConcurrentSolveWithIndependentOverrides(t *testing.T) {
+	prob := buildProblem(t, "tc1-poisson2d", 33)
+	cfg := core.DefaultConfig(4, precond.KindBlock1)
+	cfg.Solver.RecordHistory = true
+	sess, err := core.NewSession(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	const victim = 2
+	results := make([]*core.Result, n)
+	errs := make([]error, n)
+	colls := make([]*obs.Collector, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		colls[i] = obs.NewCollector()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var mu sync.Mutex
+			var hist []float64
+			opts := core.SolveOptions{
+				Ctx:       ctx,
+				Collector: colls[i],
+				Progress: func(it int, resid float64) {
+					mu.Lock()
+					if it == len(hist) {
+						hist = append(hist, resid)
+					}
+					mu.Unlock()
+					if i == victim && it >= 2 {
+						cancel()
+					}
+				},
+			}
+			results[i], errs[i] = sess.SolveWith(nil, opts)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("solve %d: %v", i, errs[i])
+		}
+	}
+	if !errors.Is(results[victim].Err, krylov.ErrCanceled) {
+		t.Fatalf("victim Err = %v, want ErrCanceled", results[victim].Err)
+	}
+	if results[victim].Iterations != 2 {
+		t.Errorf("victim Iterations = %d, want 2", results[victim].Iterations)
+	}
+	for i := 0; i < n; i++ {
+		if i == victim {
+			continue
+		}
+		if !results[i].Converged {
+			t.Errorf("solve %d: cancel of solve %d leaked (not converged, err %v)",
+				i, victim, results[i].Err)
+		}
+		if len(colls[i].Events()) == 0 {
+			t.Errorf("solve %d: per-solve collector recorded nothing", i)
+		}
+	}
+}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -132,6 +133,17 @@ type Config struct {
 	// what happened. Ignored with UseCG.
 	Resilient bool
 
+	// Ctx, when non-nil, makes the solve cancelable: once the context is
+	// done, every rank leaves its Krylov loop at the next iteration
+	// boundary and Result.Err wraps krylov.ErrCanceled. The signal is
+	// propagated through an uncharged collective vote (dist.Comm.VoteStop),
+	// so all ranks stop at the same iteration and the modeled times, fault
+	// streams and traces of a run that is never canceled stay bit-identical
+	// to one with Ctx nil. In-process worlds only: SolveRank workers cannot
+	// share a context across processes (kill the process instead — that is
+	// what checkpoints are for).
+	Ctx context.Context
+
 	// Collector, when non-nil, records structured observability data for
 	// the solve: per-rank spans (communication, SpMV, preconditioner
 	// setup/apply, orthogonalization), phase-attributed flop/byte
@@ -207,9 +219,15 @@ type Result struct {
 
 	// Err is the solver-level typed error of a failed solve — a
 	// krylov.BreakdownError (possibly joined with a dsys.ExchangeError
-	// when a communication fault poisoned the recurrence). Runtime-level
-	// failures (deadlock, crash) are returned as Solve's error instead.
+	// when a communication fault poisoned the recurrence), or a
+	// krylov.CanceledError when Config.Ctx was canceled. When the error
+	// was observed on a rank other than 0 it is wrapped in a
+	// RankSolveError naming the rank. Runtime-level failures (deadlock,
+	// crash) are returned as Solve's error instead.
 	Err error
+	// ErrRank is the rank whose error Err surfaces (the lowest rank with
+	// a non-nil solver error), or -1 when Err is nil.
+	ErrRank int
 	// Recovery is the escalation-ladder log (only with Config.Resilient).
 	Recovery *krylov.RecoveryLog
 }
@@ -332,16 +350,7 @@ func Solve(p *Problem, cfg Config) (*Result, error) {
 	}
 	copy(res.PerRank, stats)
 	sortPerRank(res.PerRank)
-	r0 := results[0]
-	res.Iterations = r0.Iterations
-	res.Restarts = r0.Restarts
-	res.Converged = r0.Converged
-	res.History = r0.History
-	res.Err = r0.Err
-	res.Recovery = logs[0]
-	if r0.Initial > 0 {
-		res.Residual = r0.Final / r0.Initial
-	}
+	breakdown := aggregateResult(res, results, logs)
 	var maxSetup, maxClock float64
 	for r := 0; r < cfg.P; r++ {
 		if setupClock[r] > maxSetup {
@@ -354,7 +363,7 @@ func Solve(p *Problem, cfg Config) (*Result, error) {
 	res.SetupTime = maxSetup
 	res.SolveTime = maxClock - maxSetup
 	res.Wall = time.Since(wallStart).Seconds()
-	recordSolveCounters(cfg, res, r0.Breakdown)
+	recordSolveCounters(cfg, res, breakdown)
 	if cfg.KeepX {
 		res.X = dsys.Gather(systems, xl)
 		r := append([]float64(nil), p.B...)

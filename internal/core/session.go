@@ -1,12 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
+	"parapre/internal/ckpt"
 	"parapre/internal/dist"
 	"parapre/internal/dsys"
 	"parapre/internal/krylov"
+	"parapre/internal/obs"
 	"parapre/internal/par"
 	"parapre/internal/precond"
 	"parapre/internal/sparse"
@@ -27,6 +31,55 @@ type Session struct {
 	pcs     []precond.Preconditioner
 	// modeled one-time setup cost (max over ranks)
 	setupTime float64
+
+	// mu implements the concurrent-Solve policy. Most configurations can
+	// overlap solves freely (read side): the matrix, distribution and
+	// factors are immutable after setup, the per-rank halo buffers are
+	// atomically leased, and the block preconditioners either have no
+	// apply-time scratch or serialize it internally. The write side —
+	// full serialization — is taken when solves share mutable state that
+	// cannot be locked at a finer grain: a preconditioner that
+	// communicates inside Apply (a per-Apply lock across two in-flight
+	// worlds deadlocks: each world holds some ranks' locks while its
+	// inner iteration waits for ranks whose locks the other world holds),
+	// the session-default checkpoint destination (one file), or the
+	// session-inherited observability collector (per-rank recorders are
+	// single-writer by contract).
+	mu sync.RWMutex
+	// serialOnly marks the communicating preconditioners (Schur 1/2,
+	// Schwarz, overlapping blocks): their solves can never overlap.
+	serialOnly bool
+
+	// wsPool recycles the per-rank solver workspaces across (possibly
+	// concurrent) solves: each Solve leases a full set of P workspaces,
+	// so ranks never share one and repeated solves stop allocating.
+	wsPool sync.Pool
+}
+
+// SolveOptions carries the per-solve knobs of Session.SolveWith — the
+// pieces a long-running service varies per request while the session
+// (matrix, partition, preconditioners) stays shared. The zero value
+// reproduces Session.Solve exactly.
+type SolveOptions struct {
+	// Ctx cancels this solve only (see Config.Ctx for semantics); it
+	// overrides the session config's context.
+	Ctx context.Context
+	// Collector records this solve's spans and counters. Distinct
+	// concurrent solves must pass distinct collectors (a collector's
+	// per-rank recorders are single-writer); overriding the session
+	// collector is what makes concurrent traced solves possible at all.
+	Collector *obs.Collector
+	// Progress streams the per-iteration residuals of this solve (the
+	// callback runs on rank goroutines — every rank reports each
+	// iteration — and must be cheap and thread-safe).
+	Progress func(iter int, resid float64)
+	// CheckpointEvery/CheckpointPath/CheckpointSink/Restore override the
+	// session config's checkpoint wiring for this solve. Distinct
+	// concurrent solves must use distinct destinations.
+	CheckpointEvery int
+	CheckpointPath  string
+	CheckpointSink  ckpt.Sink
+	Restore         *ckpt.Checkpoint
 }
 
 // NewSession partitions and distributes the problem and constructs the
@@ -94,8 +147,23 @@ func NewSession(p *Problem, cfg Config) (*Session, error) {
 			s.setupTime = t
 		}
 	}
+	s.serialOnly = cfg.Schwarz != nil ||
+		cfg.Precond == precond.KindSchur1 || cfg.Precond == precond.KindSchur2 ||
+		(cfg.OverlapLevels > 0 && (cfg.Precond == precond.KindBlock1 || cfg.Precond == precond.KindBlock2))
+	s.wsPool.New = func() any {
+		ws := make([]*krylov.Workspace, cfg.P)
+		for i := range ws {
+			ws[i] = krylov.NewWorkspace()
+		}
+		return ws
+	}
 	return s, nil
 }
+
+// Concurrent reports whether this session can run overlapping Solves
+// (false for the communicating preconditioners, which serialize) — a
+// scheduling hint for services multiplexing requests over one session.
+func (s *Session) Concurrent() bool { return !s.serialOnly }
 
 // P returns the processor count of the session.
 func (s *Session) P() int { return s.cfg.P }
@@ -109,39 +177,93 @@ func (s *Session) Systems() []*dsys.System { return s.systems }
 // Solve runs the distributed preconditioned FGMRES for the global
 // right-hand side b (nil reuses the problem's). The preconditioners and
 // the distribution are reused; only the solve is charged to the virtual
-// clocks.
+// clocks. Equivalent to SolveWith(b, SolveOptions{}).
 func (s *Session) Solve(b []float64) (*Result, error) {
+	return s.SolveWith(b, SolveOptions{})
+}
+
+// SolveWith runs one solve under the session with per-solve overrides —
+// cancellation context, collector, progress stream, checkpoint wiring.
+// Solves are safe to call concurrently: overlapping solves share the
+// immutable setup and proceed in parallel where the configuration allows
+// it, and serialize (correctly, not racily) where it does not — see the
+// Session mutex policy.
+func (s *Session) SolveWith(b []float64, opts SolveOptions) (*Result, error) {
+	cfg := s.cfg
+	if opts.Ctx != nil {
+		cfg.Ctx = opts.Ctx
+	}
+	if opts.Collector != nil {
+		cfg.Collector = opts.Collector
+	}
+	if opts.Progress != nil {
+		cfg.Solver.Progress = opts.Progress
+	}
+	if opts.CheckpointEvery > 0 {
+		cfg.CheckpointEvery = opts.CheckpointEvery
+	}
+	if opts.CheckpointPath != "" {
+		cfg.CheckpointPath = opts.CheckpointPath
+		cfg.CheckpointSink = nil
+	}
+	if opts.CheckpointSink != nil {
+		cfg.CheckpointSink = opts.CheckpointSink
+	}
+	if opts.Restore != nil {
+		cfg.Restore = opts.Restore
+	}
+
+	// Exclusive when solves share mutable state at session scope: a
+	// communicating preconditioner, the session's own checkpoint
+	// destination (not overridden per solve), or the session-inherited
+	// collector. Per-solve collectors and checkpoint destinations are the
+	// caller's to keep distinct.
+	exclusive := s.serialOnly ||
+		(cfg.CheckpointEvery > 0 && opts.CheckpointPath == "" && opts.CheckpointSink == nil &&
+			(cfg.CheckpointPath != "" || cfg.CheckpointSink != nil)) ||
+		(cfg.Collector != nil && opts.Collector == nil)
+	if exclusive {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	} else {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
+
 	if b == nil {
 		b = s.prob.B
 	}
 	if len(b) != s.prob.A.Rows {
 		return nil, fmt.Errorf("core: rhs length %d, want %d", len(b), s.prob.A.Rows)
 	}
-	if err := validateRestore(s.cfg); err != nil {
+	if err := validateRestore(cfg); err != nil {
 		return nil, err
 	}
 	wallStart := time.Now()
 	bl := dsys.Scatter(s.systems, b)
-	sink := checkpointSink(s.cfg)
+	sink := checkpointSink(cfg)
+	ws := s.wsPool.Get().([]*krylov.Workspace)
+	defer s.wsPool.Put(ws)
 
-	results := make([]krylov.Result, s.cfg.P)
-	logs := make([]*krylov.RecoveryLog, s.cfg.P)
-	xl := make([][]float64, s.cfg.P)
-	stats, runErr := runWorld(s.cfg, func(c *dist.Comm) {
+	results := make([]krylov.Result, cfg.P)
+	logs := make([]*krylov.RecoveryLog, cfg.P)
+	xl := make([][]float64, cfg.P)
+	stats, runErr := runWorld(cfg, func(c *dist.Comm) {
 		sys := s.systems[c.Rank()]
 		pc := s.pcs[c.Rank()]
-		sopt := rankSolverOptions(s.cfg, c, sink, s.cfg.Restore)
+		sopt := rankSolverOptions(cfg, c, sink, cfg.Restore)
+		sopt.Work = ws[c.Rank()]
 		x := make([]float64, sys.NLoc())
 		var prec krylov.Prec
-		if s.cfg.Precond != precond.KindNone || s.cfg.Schwarz != nil {
-			prec = wrapApply(c, precondLabel(s.cfg), pc)
+		if cfg.Precond != precond.KindNone || cfg.Schwarz != nil {
+			prec = wrapApply(c, precondLabel(cfg), pc)
 		}
 		switch {
-		case s.cfg.UseCG:
+		case cfg.UseCG:
 			results[c.Rank()] = krylov.DistributedCG(c, sys, prec, bl[c.Rank()], x, sopt)
-		case s.cfg.Resilient:
+		case cfg.Resilient:
 			results[c.Rank()], logs[c.Rank()] = krylov.ResilientSolve(
-				c, sys, resilientLadder(s.cfg, c, sys, prec), bl[c.Rank()], x, sopt)
+				c, sys, resilientLadder(cfg, c, sys, prec), bl[c.Rank()], x, sopt)
 		default:
 			results[c.Rank()] = krylov.Distributed(c, sys, prec, bl[c.Rank()], x, sopt)
 		}
@@ -153,24 +275,15 @@ func (s *Session) Solve(b []float64) (*Result, error) {
 
 	res := &Result{PerRank: stats, SetupTime: s.setupTime}
 	sortPerRank(res.PerRank)
-	r0 := results[0]
-	res.Iterations = r0.Iterations
-	res.Restarts = r0.Restarts
-	res.Converged = r0.Converged
-	res.History = r0.History
-	res.Err = r0.Err
-	res.Recovery = logs[0]
-	if r0.Initial > 0 {
-		res.Residual = r0.Final / r0.Initial
-	}
+	breakdown := aggregateResult(res, results, logs)
 	solveClock, cerr := dist.MaxClockErr(stats)
 	if cerr != nil {
 		return nil, fmt.Errorf("core: %w", cerr)
 	}
 	res.SolveTime = solveClock
 	res.Wall = time.Since(wallStart).Seconds()
-	recordSolveCounters(s.cfg, res, r0.Breakdown)
-	if s.cfg.KeepX {
+	recordSolveCounters(cfg, res, breakdown)
+	if cfg.KeepX {
 		res.X = dsys.Gather(s.systems, xl)
 		rr := append([]float64(nil), b...)
 		s.prob.A.MulVecSub(rr, res.X)

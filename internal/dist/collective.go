@@ -186,6 +186,27 @@ func (c *Comm) AllGather(x []float64, counts []int) []float64 {
 	return out
 }
 
+// VoteStop is an out-of-band control collective: every rank contributes
+// its local stop observation and all ranks receive the OR of the votes,
+// so a cooperative cancellation decision is identical everywhere even
+// when only one rank saw the signal. It must be called collectively, in
+// the same position of every rank's op sequence, like every collective.
+//
+// Unlike the data collectives above it is deliberately uncharged and
+// invisible: no virtual-clock cost (the modeled times of a canceled-then-
+// ignored run stay bit-identical to an unvoted one), no fault-plan op
+// step (seeded crash/corruption schedules keep their exact firing
+// points), and no observability span (golden traces are unchanged). The
+// underlying combining barrier still gives the usual world-abort unwind.
+func (c *Comm) VoteStop(stop bool) bool {
+	v := 0.0
+	if stop {
+		v = 1
+	}
+	out, _ := c.reduce([]float64{v}, ReduceMax)
+	return out[0] != 0
+}
+
 func (c *Comm) syncClock(maxT float64, bytes int) {
 	if maxT > c.clock {
 		c.clock = maxT

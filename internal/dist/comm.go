@@ -360,7 +360,7 @@ func (c *Comm) Send(to, tag int, data []float64) {
 	c.clock += c.w.Machine.Latency
 	m := Message{Tag: tag, Data: buf, Time: c.clock}
 	if c.faults != nil {
-		delay, dropped, corrupted := c.faults.sendFaults(buf)
+		delay, dropped, corrupted := c.faults.sendFaults(buf, to)
 		m.Time += delay
 		m.FDelay = delay
 		if c.rec != nil {

@@ -50,6 +50,15 @@ type FaultPlan struct {
 	// active only when CrashAfterOps > 0, so the zero value is safe.
 	CrashRank     int
 	CrashAfterOps int
+
+	// TargetRecvRanks, when non-empty, restricts the per-message faults
+	// (drop, delay, corruption) to messages whose *receiver* is listed —
+	// aiming the chaos at specific ranks, e.g. to exercise error paths
+	// that only fire away from rank 0. The PRNG draws are consumed for
+	// every message regardless, so a targeted plan's fault stream stays
+	// aligned with the same plan untargeted: the same messages are hit,
+	// the off-target hits are just not applied. Nil targets every rank.
+	TargetRecvRanks []int
 }
 
 // FaultPlanNames lists the built-in chaos plans, in matrix order.
@@ -132,28 +141,54 @@ func (f *rankFaults) step(rank int) {
 	}
 }
 
-// sendFaults draws this message's injection decisions. The draw count per
-// call is fixed (three uniforms, plus conditional draws whose conditions
-// are themselves deterministic), so the stream stays aligned across runs.
-// It returns the extra virtual delay, whether the message is dropped, and
+// sendFaults draws this message's injection decisions for a message bound
+// for rank to. The draw count per call is fixed (three uniforms, plus
+// conditional draws whose conditions are themselves deterministic — the
+// receiver targeting masks the *application*, never the draws), so the
+// stream stays aligned across runs and across targeting changes. It
+// returns the extra virtual delay, whether the message is dropped, and
 // whether the payload was corrupted (mutated in place) — the last two so
 // the observability layer can count fault events without extra draws.
-func (f *rankFaults) sendFaults(buf []float64) (delay float64, dropped, corrupted bool) {
+func (f *rankFaults) sendFaults(buf []float64, to int) (delay float64, dropped, corrupted bool) {
 	p := f.plan
 	dropU, delayU, corrU := f.rng.Float64(), f.rng.Float64(), f.rng.Float64()
+	targeted := p.targetsRecv(to)
 	if p.DelayProb > 0 && delayU < p.DelayProb {
-		delay = f.rng.Float64() * p.DelayMax
-	}
-	if p.CorruptProb > 0 && corrU < p.CorruptProb && len(buf) > 0 {
-		corrupted = true
-		i := f.rng.Intn(len(buf))
-		if f.rng.Float64() < 0.5 {
-			buf[i] = math.NaN()
-		} else {
-			bit := uint(f.rng.Intn(52)) // mantissa bit: a silent value error
-			buf[i] = math.Float64frombits(math.Float64bits(buf[i]) ^ (1 << bit))
+		d := f.rng.Float64() * p.DelayMax
+		if targeted {
+			delay = d
 		}
 	}
-	dropped = p.DropProb > 0 && dropU < p.DropProb
+	if p.CorruptProb > 0 && corrU < p.CorruptProb && len(buf) > 0 {
+		i := f.rng.Intn(len(buf))
+		nan := f.rng.Float64() < 0.5
+		var bit uint
+		if !nan {
+			bit = uint(f.rng.Intn(52)) // mantissa bit: a silent value error
+		}
+		if targeted {
+			corrupted = true
+			if nan {
+				buf[i] = math.NaN()
+			} else {
+				buf[i] = math.Float64frombits(math.Float64bits(buf[i]) ^ (1 << bit))
+			}
+		}
+	}
+	dropped = targeted && p.DropProb > 0 && dropU < p.DropProb
 	return delay, dropped, corrupted
+}
+
+// targetsRecv reports whether per-message faults apply to messages
+// received by rank to under this plan's targeting.
+func (p *FaultPlan) targetsRecv(to int) bool {
+	if len(p.TargetRecvRanks) == 0 {
+		return true
+	}
+	for _, r := range p.TargetRecvRanks {
+		if r == to {
+			return true
+		}
+	}
+	return false
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"parapre/internal/dist"
 	"parapre/internal/obs"
@@ -50,11 +51,15 @@ type System struct {
 
 	Neigh []Neighbor
 
-	// sendBuf is the pooled staging buffer for sendInterface.
-	// dist.Comm.Send copies its payload, so reusing one buffer across
-	// sends (and across exchanges) is safe and keeps the per-iteration
-	// halo exchange allocation-free.
-	sendBuf []float64
+	// sendBuf is the pooled staging buffer for sendInterface, held as an
+	// atomic lease: an exchange swaps the pointer out (falling back to a
+	// fresh allocation when another solve holds it) and parks it back when
+	// done. dist.Comm.Send copies its payload, so reuse across sends and
+	// exchanges is safe; the lease keeps the steady-state halo exchange
+	// allocation-free for a single solve while staying race-free when
+	// concurrent solves share the distributed system (core.Session serves
+	// simultaneous right-hand sides over one distribution).
+	sendBuf atomic.Pointer[[]float64]
 }
 
 // NLoc returns the number of owned unknowns.
@@ -386,11 +391,20 @@ func (s *System) ExchangeErr(c *dist.Comm, ext []float64) error {
 // sendInterface posts this rank's owned interface values to every
 // neighbor that reads them.
 func (s *System) sendInterface(c *dist.Comm, ext []float64) {
-	if s.sendBuf == nil {
-		s.sendBuf = make([]float64, 0, 64)
+	// Lease the pooled buffer; a concurrent solve that finds the slot
+	// empty allocates its own lease (the loser of the final Store is
+	// simply collected). The *[]float64 box is stable across calls, so
+	// the single-solve steady state allocates nothing.
+	lease := s.sendBuf.Swap(nil)
+	if lease == nil {
+		b := make([]float64, 0, 64)
+		lease = &b
 	}
-	buf := s.sendBuf
-	defer func() { s.sendBuf = buf[:0] }()
+	buf := *lease
+	defer func() {
+		*lease = buf[:0]
+		s.sendBuf.Store(lease)
+	}()
 	for _, nb := range s.Neigh {
 		if len(nb.SendIdx) == 0 {
 			continue

@@ -1,0 +1,200 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// blockingRun is a controllable job body: each run parks until released.
+type blockingRun struct {
+	mu      sync.Mutex
+	started []string
+	release chan struct{}
+}
+
+func newBlockingRun() *blockingRun {
+	return &blockingRun{release: make(chan struct{})}
+}
+
+func (b *blockingRun) run(ctx context.Context, j *Job) {
+	b.mu.Lock()
+	b.started = append(b.started, j.ID)
+	b.mu.Unlock()
+	select {
+	case <-b.release:
+	case <-ctx.Done():
+	}
+	j.Finish(&ResultSummary{})
+}
+
+func (b *blockingRun) startedIDs() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]string(nil), b.started...)
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// The pool is bounded: with one worker, only one job runs at a time and
+// the per-tenant queue overflows into ErrQueueFull with a positive
+// Retry-After.
+func TestSchedulerBoundAndBackpressure(t *testing.T) {
+	br := newBlockingRun()
+	s := NewScheduler(1, 2, br.run)
+	a := NewJob("t1", &Spec{})
+	if err := s.Submit(a); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(br.startedIDs()) == 1 })
+	// Two fit in the queue behind the running job…
+	if err := s.Submit(NewJob("t1", &Spec{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(NewJob("t1", &Spec{})); err != nil {
+		t.Fatal(err)
+	}
+	// …the third bounces.
+	err := s.Submit(NewJob("t1", &Spec{}))
+	var full *ErrQueueFull
+	if !errors.As(err, &full) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if full.RetryAfter < 1 {
+		t.Errorf("RetryAfter = %d, want >= 1", full.RetryAfter)
+	}
+	// Another tenant's queue is unaffected by t1's backlog.
+	if err := s.Submit(NewJob("t2", &Spec{})); err != nil {
+		t.Fatalf("tenant isolation broken: %v", err)
+	}
+	if got := len(br.startedIDs()); got != 1 {
+		t.Fatalf("%d jobs running on a 1-worker pool", got)
+	}
+	close(br.release)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Dispatch round-robins over tenants with backlog rather than serving
+// one tenant's whole queue first.
+func TestSchedulerTenantFairness(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	s := NewScheduler(1, 8, func(ctx context.Context, j *Job) {
+		if j.Tenant == "stall" {
+			// Park the single worker so both tenants build a backlog.
+			close(started)
+			<-gate
+		} else {
+			mu.Lock()
+			order = append(order, j.Tenant)
+			mu.Unlock()
+		}
+		j.Finish(&ResultSummary{})
+	})
+	if err := s.Submit(NewJob("stall", &Spec{})); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	for i := 0; i < 3; i++ {
+		if err := s.Submit(NewJob("a", &Spec{})); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Submit(NewJob("b", &Spec{})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(gate)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 6 {
+		t.Fatalf("ran %d jobs, want 6", len(order))
+	}
+	// With both queues full, no tenant is served twice in a row.
+	for i := 1; i < len(order); i++ {
+		if order[i] == order[i-1] {
+			t.Fatalf("tenant %q served twice in a row: %v", order[i], order)
+		}
+	}
+}
+
+// Drain refuses new work, finishes the backlog, and returns.
+func TestSchedulerDrain(t *testing.T) {
+	br := newBlockingRun()
+	s := NewScheduler(2, 4, br.run)
+	jobs := make([]*Job, 3)
+	for i := range jobs {
+		jobs[i] = NewJob("t", &Spec{})
+		if err := s.Submit(jobs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return len(br.startedIDs()) == 2 })
+	close(br.release)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(NewJob("t", &Spec{})); err != ErrDraining {
+		t.Fatalf("post-drain submit: %v, want ErrDraining", err)
+	}
+	for i, j := range jobs {
+		if j.State() != StateDone {
+			t.Errorf("job %d state %s after drain", i, j.State())
+		}
+	}
+}
+
+// A job canceled while queued never runs.
+func TestSchedulerCancelQueued(t *testing.T) {
+	br := newBlockingRun()
+	s := NewScheduler(1, 4, br.run)
+	running := NewJob("t", &Spec{})
+	if err := s.Submit(running); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(br.startedIDs()) == 1 })
+	queued := NewJob("t", &Spec{})
+	if err := s.Submit(queued); err != nil {
+		t.Fatal(err)
+	}
+	if !queued.Cancel() {
+		t.Fatal("cancel of queued job refused")
+	}
+	if queued.State() != StateCanceled {
+		t.Fatalf("state = %s", queued.State())
+	}
+	close(br.release)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range br.startedIDs() {
+		if id == queued.ID {
+			t.Fatal("canceled job was executed")
+		}
+	}
+}

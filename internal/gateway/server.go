@@ -1,0 +1,360 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"parapre/internal/ckpt"
+	"parapre/internal/core"
+	"parapre/internal/obs"
+)
+
+// Server is the solver-as-a-service gateway: it owns the job registry,
+// the per-spec session cache, the scheduler, and (optionally) the
+// checkpoint directory that makes jobs survive a kill.
+type Server struct {
+	sched   *Scheduler
+	ckptDir string
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	sessions map[string]*sessionEntry
+}
+
+// sessionEntry builds its core.Session at most once; concurrent jobs
+// with the same spec key block on the first build and then share it.
+type sessionEntry struct {
+	once sync.Once
+	sess *core.Session
+	err  error
+}
+
+// Options configures New.
+type Options struct {
+	Workers    int    // solver pool size (default 2)
+	QueueDepth int    // per-tenant queue capacity (default 8)
+	CkptDir    string // non-empty enables checkpoint persistence + resume
+}
+
+// New creates a gateway server and recovers any resumable jobs left in
+// the checkpoint directory by a previous process.
+func New(opt Options) (*Server, error) {
+	if opt.Workers == 0 {
+		opt.Workers = 2
+	}
+	if opt.QueueDepth == 0 {
+		opt.QueueDepth = 8
+	}
+	s := &Server{
+		ckptDir:  opt.CkptDir,
+		jobs:     make(map[string]*Job),
+		sessions: make(map[string]*sessionEntry),
+	}
+	s.sched = NewScheduler(opt.Workers, opt.QueueDepth, s.runJob)
+	if err := s.resumeScan(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Drain stops admission and waits for in-flight jobs (SIGTERM path).
+func (s *Server) Drain(ctx context.Context) error { return s.sched.Drain(ctx) }
+
+// Job looks up a job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Submit validates, registers and enqueues a job for the tenant.
+func (s *Server) Submit(tenant string, spec *Spec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	j := NewJob(tenant, spec)
+	return j, s.enqueue(j)
+}
+
+func (s *Server) enqueue(j *Job) error {
+	s.mu.Lock()
+	s.jobs[j.ID] = j
+	s.mu.Unlock()
+	if err := s.sched.Submit(j); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, j.ID)
+		s.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// session returns the cached session for the spec, building it on first
+// use. Session setup (partitioning, factorization) is the expensive part
+// a service must amortize — the whole point of core.Session.
+func (s *Server) session(spec *Spec) (*core.Session, error) {
+	key := spec.SessionKey()
+	s.mu.Lock()
+	e, ok := s.sessions[key]
+	if !ok {
+		e = &sessionEntry{}
+		s.sessions[key] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		prob, err := spec.BuildProblem()
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.sess, e.err = core.NewSession(prob, spec.BuildConfig())
+	})
+	return e.sess, e.err
+}
+
+// ckptPath returns the job's checkpoint and spec-sidecar paths.
+func (s *Server) ckptPath(id string) (ck, spec string) {
+	return filepath.Join(s.ckptDir, id+".ckpt"), filepath.Join(s.ckptDir, id+".json")
+}
+
+// persistedSpec is the sidecar the resume scan reads: enough to rebuild
+// the job exactly.
+type persistedSpec struct {
+	Tenant string `json:"tenant"`
+	Spec   *Spec  `json:"spec"`
+}
+
+// resumeScan re-enqueues jobs whose checkpoints a killed predecessor
+// left behind: for every sidecar spec with a loadable checkpoint the job
+// restarts mid-recurrence; a sidecar without a checkpoint (killed before
+// the first snapshot) restarts from scratch.
+func (s *Server) resumeScan() error {
+	if s.ckptDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.ckptDir, 0o755); err != nil {
+		return err
+	}
+	sidecars, err := filepath.Glob(filepath.Join(s.ckptDir, "*.json"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(sidecars)
+	for _, sc := range sidecars {
+		data, err := os.ReadFile(sc)
+		if err != nil {
+			continue
+		}
+		var ps persistedSpec
+		if json.Unmarshal(data, &ps) != nil || ps.Spec == nil || ps.Spec.Validate() != nil {
+			_ = os.Remove(sc)
+			continue
+		}
+		id := strings.TrimSuffix(filepath.Base(sc), ".json")
+		j := NewJob(ps.Tenant, ps.Spec)
+		j.ID = id // keep the identity clients hold
+		ckFile, _ := s.ckptPath(id)
+		if ck, err := ckpt.Load(ckFile); err == nil {
+			j.Restore = ck
+		}
+		j.Publish(Event{Type: "recovery", Stage: "resume", Recovered: j.Restore != nil})
+		if err := s.enqueue(j); err != nil {
+			return fmt.Errorf("gateway: resume %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// runJob executes one job on a worker: session lookup, live event
+// wiring, the solve itself, result projection, checkpoint cleanup.
+func (s *Server) runJob(ctx context.Context, j *Job) {
+	sess, err := s.session(j.Spec)
+	if err != nil {
+		j.Fail(err)
+		return
+	}
+
+	coll := obs.NewCollector()
+	streamAll := j.Spec.StreamSpans
+	coll.SetLiveSink(func(e obs.Event) {
+		// Attempt spans are rare and newsworthy (the resilience ladder in
+		// action); everything else is per-iteration noise unless the
+		// client opted into the firehose.
+		if streamAll || e.Kind == obs.KindAttempt {
+			ev := e
+			j.Publish(Event{Type: "span", Span: &ev})
+		}
+	})
+
+	// Every rank reports every iteration; publish each once.
+	var pmu sync.Mutex
+	seen := -1
+	progress := func(iter int, resid float64) {
+		pmu.Lock()
+		fresh := iter > seen
+		if fresh {
+			seen = iter
+		}
+		pmu.Unlock()
+		if fresh {
+			j.Publish(Event{Type: "residual", Iter: iter, Residual: resid})
+		}
+	}
+
+	opts := core.SolveOptions{
+		Ctx:       ctx,
+		Collector: coll,
+		Progress:  progress,
+		Restore:   j.Restore,
+	}
+	ckFile, scFile := "", ""
+	if s.ckptDir != "" && j.Spec.CheckpointEvery > 0 {
+		ckFile, scFile = s.ckptPath(j.ID)
+		if data, err := json.Marshal(&persistedSpec{Tenant: j.Tenant, Spec: j.Spec}); err == nil {
+			_ = os.WriteFile(scFile, data, 0o644)
+		}
+		opts.CheckpointEvery = j.Spec.CheckpointEvery
+		opts.CheckpointPath = ckFile
+	}
+
+	res, err := sess.SolveWith(nil, opts)
+	if err != nil {
+		j.Fail(err)
+		return
+	}
+	sum := summarize(resultView{
+		Iterations:     res.Iterations,
+		Restarts:       res.Restarts,
+		Converged:      res.Converged,
+		Residual:       res.Residual,
+		SetupTime:      res.SetupTime,
+		SolveTime:      res.SolveTime,
+		Wall:           res.Wall,
+		History:        res.History,
+		TrueRelRes:     res.TrueRelRes,
+		X:              res.X,
+		Err:            res.Err,
+		ErrRank:        res.ErrRank,
+		PhaseBreakdown: res.PhaseBreakdown,
+		Recovery:       res.Recovery,
+	})
+	if res.Recovery != nil {
+		for _, st := range res.Recovery.Steps {
+			ev := Event{Type: "recovery", Stage: st.Stage, Attempt: st.Attempt,
+				Recovered: st.Converged, Iter: st.Iterations}
+			if st.Err != nil {
+				ev.Error = st.Err.Error()
+			}
+			j.Publish(ev)
+		}
+	}
+	j.Finish(sum)
+	// The job is terminal: its durable state has served its purpose.
+	if ckFile != "" {
+		_ = os.Remove(ckFile)
+		_ = os.Remove(scFile)
+	}
+}
+
+// Handler returns the HTTP API:
+//
+//	POST   /v1/jobs          submit (X-Tenant header; 202, 400, 429)
+//	GET    /v1/jobs/{id}        status + result
+//	GET    /v1/jobs/{id}/events SSE event stream (replay + live)
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /healthz             liveness + pool stats
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	var spec Spec
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad spec: %v", err))
+		return
+	}
+	j, err := s.Submit(tenant, &spec)
+	if err != nil {
+		var full *ErrQueueFull
+		switch {
+		case errors.As(err, &full):
+			w.Header().Set("Retry-After", strconv.Itoa(full.RetryAfter))
+			httpError(w, http.StatusTooManyRequests, err.Error())
+		case err == ErrDraining:
+			w.Header().Set("Retry-After", "30")
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			httpError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, map[string]any{"id": j.ID, "state": j.State()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, map[string]any{
+		"id":     j.ID,
+		"tenant": j.Tenant,
+		"state":  j.State(),
+		"result": j.Result(),
+	})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if !j.Cancel() {
+		httpError(w, http.StatusConflict, "job already finished")
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	pending, active := s.sched.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, map[string]any{"ok": true, "pending": pending, "active": active})
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	writeJSON(w, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,443 @@
+package gateway
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"parapre/internal/cases"
+	"parapre/internal/ckpt"
+	"parapre/internal/core"
+)
+
+func postJob(t *testing.T, ts *httptest.Server, tenant string, spec *Spec) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/jobs", bytes.NewReader(body))
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func submitOK(t *testing.T, ts *httptest.Server, tenant string, spec *Spec) string {
+	t.Helper()
+	resp := postJob(t, ts, tenant, spec)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := readAll(resp)
+		t.Fatalf("submit: %d %s", resp.StatusCode, b)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.ID
+}
+
+func readAll(resp *http.Response) (string, error) {
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+	}
+	return sb.String(), sc.Err()
+}
+
+// streamEvents consumes the job's SSE stream to completion and returns
+// every decoded event.
+func streamEvents(t *testing.T, ts *httptest.Server, id string) []Event {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var events []Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Text()
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			var e Event
+			if err := json.Unmarshal([]byte(data), &e); err != nil {
+				t.Fatalf("bad SSE data %q: %v", data, err)
+			}
+			events = append(events, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func newTestServer(t *testing.T, opt Options) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Drain(ctx)
+	})
+	return srv, ts
+}
+
+// slowSpec is a solve that runs for many seconds if left alone (plain
+// GMRES(20), no preconditioner, stagnating on a size-129 Poisson) but is
+// bounded by MaxIters — cancel/backpressure tests race nothing. Size 65
+// is not enough: that system converges in well under a second of wall
+// time, so a poll for StateRunning could miss the whole solve.
+func slowSpec() *Spec {
+	return &Spec{Case: "tc1-poisson2d", Size: 129, Procs: 4,
+		Precond: "None", Tol: 1e-13, MaxIters: 50000}
+}
+
+// The service answer must be the library answer: same iterations, same
+// converged flag, and a streamed residual sequence bit-identical to the
+// History of a direct core.Solve.
+func TestE2EResultMatchesDirectSolve(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 4})
+	spec := &Spec{Case: "tc1-poisson2d", Size: 33, Procs: 4, Precond: "Block 2"}
+	id := submitOK(t, ts, "alice", spec)
+	events := streamEvents(t, ts, id)
+
+	var result *ResultSummary
+	var streamed []float64
+	for _, e := range events {
+		switch e.Type {
+		case "residual":
+			if e.Iter != len(streamed) {
+				t.Fatalf("residual iter %d out of order (have %d)", e.Iter, len(streamed))
+			}
+			streamed = append(streamed, e.Residual)
+		case "result":
+			result = e.Result
+		}
+	}
+	if result == nil {
+		t.Fatal("no result event")
+	}
+	if !result.Converged {
+		t.Fatalf("gateway solve did not converge: %+v", result)
+	}
+	if len(result.Phases) == 0 {
+		t.Error("result carries no phase breakdown")
+	}
+
+	// Direct library solves with the identical configuration: the gateway
+	// wraps a core.Session, so a direct session solve must match
+	// bit-for-bit; the one-shot core.Solve shares the identical residual
+	// recurrence (its modeled clock differs in the last bits only because
+	// it charges preconditioner setup inside the world).
+	c, err := cases.ByName(spec.Case)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := core.Solve(c.Build(spec.Size), spec.BuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := core.NewSession(c.Build(spec.Size), spec.BuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsess, err := sess.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Iterations != direct.Iterations || result.Converged != direct.Converged {
+		t.Fatalf("gateway %d iters, direct %d", result.Iterations, direct.Iterations)
+	}
+	if result.SolveTime != dsess.SolveTime {
+		t.Errorf("modeled SolveTime %v vs session %v", result.SolveTime, dsess.SolveTime)
+	}
+	if len(streamed) != len(direct.History) {
+		t.Fatalf("streamed %d residuals, direct history %d", len(streamed), len(direct.History))
+	}
+	for i := range streamed {
+		if streamed[i] != direct.History[i] {
+			t.Fatalf("residual[%d]: streamed %v, direct %v", i, streamed[i], direct.History[i])
+		}
+	}
+}
+
+// DELETE on a running job lands as a collective stop vote: the solve
+// ends promptly with the cancellation sentinel, not at MaxIters.
+func TestE2ECancelRunningJob(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 2})
+	id := submitOK(t, ts, "alice", slowSpec())
+
+	// Wait until the job is demonstrably iterating.
+	waitFor(t, func() bool {
+		resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		var st struct {
+			State State `json:"state"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&st)
+		return st.State == StateRunning
+	})
+
+	canceledAt := time.Now()
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+id, nil)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: %d", resp.StatusCode)
+	}
+
+	events := streamEvents(t, ts, id)
+	var result *ResultSummary
+	for _, e := range events {
+		if e.Type == "result" {
+			result = e.Result
+		}
+	}
+	if result == nil {
+		t.Fatal("no result after cancel")
+	}
+	if !result.Canceled {
+		t.Fatalf("result not canceled: %+v", result)
+	}
+	if result.Iterations >= 50000 {
+		t.Fatal("job ran to MaxIters despite cancel")
+	}
+	if el := time.Since(canceledAt); el > 15*time.Second {
+		t.Fatalf("cancel took %v", el)
+	}
+}
+
+// A full tenant queue answers 429 with Retry-After while other tenants
+// keep their own admission budget.
+func TestE2EQueueFull429(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 1})
+	running := submitOK(t, ts, "alice", slowSpec()) // occupies the worker
+	queued := submitOK(t, ts, "alice", slowSpec())  // fills alice's queue
+
+	resp := postJob(t, ts, "alice", slowSpec())
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	resp.Body.Close()
+
+	// Bob's queue is independent.
+	bob := submitOK(t, ts, "bob", slowSpec())
+
+	// Unwind: cancel everything so the drain in cleanup is quick.
+	for _, id := range []string{queued, bob, running} {
+		req, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+id, nil)
+		if resp, err := ts.Client().Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}
+}
+
+// Drain finishes accepted jobs and refuses new ones — the SIGTERM path
+// of cmd/parapred.
+func TestE2EDrain(t *testing.T) {
+	srv, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 4})
+	spec := &Spec{Case: "tc1-poisson2d", Size: 33, Procs: 4, Precond: "Block 1"}
+	id := submitOK(t, ts, "alice", spec)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	j, ok := srv.Job(id)
+	if !ok || j.State() != StateDone {
+		t.Fatalf("accepted job not finished by drain: %v", j.State())
+	}
+	resp := postJob(t, ts, "alice", spec)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit: %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// Bad specs are rejected up front with 400.
+func TestE2EBadSpec(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 1})
+	for _, spec := range []*Spec{
+		{},                              // neither case nor matrix
+		{Case: "no-such-case"},          // unknown case
+		{Case: "tc1-poisson2d", Procs: -1},
+		{Case: "tc1-poisson2d", Precond: "Block 9"},
+		{Case: "tc1-poisson2d", Machine: "Cray"},
+	} {
+		resp := postJob(t, ts, "alice", spec)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("spec %+v: %d, want 400", spec, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// An inline MatrixMarket upload solves like a named case.
+func TestE2EMatrixUpload(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 2})
+	// A small SPD tridiagonal system in MatrixMarket coordinate form.
+	n := 50
+	var mm strings.Builder
+	mm.WriteString("%%MatrixMarket matrix coordinate real general\n")
+	fmt.Fprintf(&mm, "%d %d %d\n", n, n, 3*n-2)
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&mm, "%d %d 2.0\n", i, i)
+		if i < n {
+			fmt.Fprintf(&mm, "%d %d -1.0\n", i, i+1)
+			fmt.Fprintf(&mm, "%d %d -1.0\n", i+1, i)
+		}
+	}
+	spec := &Spec{Matrix: mm.String(), Procs: 2, Precond: "Block 1", ReturnX: true}
+	id := submitOK(t, ts, "alice", spec)
+	events := streamEvents(t, ts, id)
+	var result *ResultSummary
+	for _, e := range events {
+		if e.Type == "result" {
+			result = e.Result
+		}
+	}
+	if result == nil || !result.Converged {
+		t.Fatalf("upload solve: %+v", result)
+	}
+	// Default RHS is A·1, so the solution is 1.
+	if len(result.X) != n {
+		t.Fatalf("len(X) = %d", len(result.X))
+	}
+	for i, x := range result.X {
+		if x < 0.99 || x > 1.01 {
+			t.Fatalf("x[%d] = %v, want ~1", i, x)
+		}
+	}
+}
+
+// A checkpointed job killed mid-solve resumes on the next server start
+// under the same job ID and finishes from the persisted recurrence.
+func TestE2EKillAndResume(t *testing.T) {
+	dir := t.TempDir()
+	spec := &Spec{Case: "tc1-poisson2d", Size: 33, Procs: 4, Precond: "Block 1",
+		CheckpointEvery: 5}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fake the killed predecessor: run the solve directly with the same
+	// session configuration, canceling after the first checkpoint lands,
+	// and leave checkpoint + sidecar in the directory.
+	const id = "deadbeef00000000"
+	ckFile := filepath.Join(dir, id+".ckpt")
+	scFile := filepath.Join(dir, id+".json")
+	c, err := cases.ByName(spec.Case)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := c.Build(spec.Size)
+	cfg := spec.BuildConfig()
+	cfg.CheckpointEvery = spec.CheckpointEvery
+	cfg.CheckpointPath = ckFile
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg.Ctx = ctx
+	cfg.Solver.Progress = func(iter int, _ float64) {
+		if iter >= 7 { // past the iteration-5 checkpoint
+			cancel()
+		}
+	}
+	partial, err := core.Solve(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Converged {
+		t.Skip("solve converged before the first checkpoint; nothing to resume")
+	}
+	if _, err := os.Stat(ckFile); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+	side, _ := json.Marshal(&persistedSpec{Tenant: "alice", Spec: spec})
+	if err := os.WriteFile(scFile, side, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := ckpt.Load(ckFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumeIter := ck.Iter
+
+	// "Restart" the server over the same directory: the scan re-enqueues
+	// the job with the checkpoint.
+	srv, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4, CkptDir: dir})
+	j, ok := srv.Job(id)
+	if !ok {
+		t.Fatal("resumed job not registered under its old ID")
+	}
+	events := streamEvents(t, ts, id)
+	var result *ResultSummary
+	sawResume := false
+	for _, e := range events {
+		if e.Type == "recovery" && e.Stage == "resume" {
+			sawResume = e.Recovered
+		}
+		if e.Type == "result" {
+			result = e.Result
+		}
+	}
+	if !sawResume {
+		t.Error("no resume recovery event")
+	}
+	if result == nil || !result.Converged {
+		t.Fatalf("resumed solve: %+v", result)
+	}
+	// The resumed solve continued from the checkpoint, not from zero: the
+	// direct full solve takes more iterations than the resumed leg ran.
+	full, err := core.Solve(c.Build(spec.Size), spec.BuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Iterations >= full.Iterations+int(resumeIter) {
+		t.Errorf("resumed job iterated %d (full solve %d, checkpoint at %d): no progress reuse",
+			result.Iterations, full.Iterations, resumeIter)
+	}
+	if j.State() != StateDone {
+		t.Fatalf("state = %s", j.State())
+	}
+	// Terminal jobs clean their durable state.
+	if _, err := os.Stat(ckFile); !os.IsNotExist(err) {
+		t.Error("checkpoint not removed after completion")
+	}
+	if _, err := os.Stat(scFile); !os.IsNotExist(err) {
+		t.Error("sidecar not removed after completion")
+	}
+}

@@ -65,9 +65,13 @@ func CG(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options) Re
 			res.Final = res.Initial
 			return res
 		}
+		res.Final = res.Initial
 		if opt.RecordHistory {
 			//lint:ignore allocfree History recording is opt-in diagnostics, excluded from the steady-state contract
 			res.History = append(res.History, res.Initial)
+		}
+		if opt.Progress != nil {
+			opt.Progress(0, res.Initial)
 		}
 		if res.Initial == 0 {
 			res.Converged = true
@@ -87,6 +91,14 @@ func CG(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options) Re
 	tolAbs := opt.Tol * res.Initial
 
 	for it := it0; it < opt.MaxIters; it++ {
+		// Cooperative cancellation at the iteration boundary — the same
+		// replicated point the checkpoint hook fires at, so in a
+		// distributed solve every rank leaves the loop together. x and
+		// res.Final carry the last completed iteration's state.
+		if opt.Stop != nil && opt.Stop() {
+			res.Err = canceledErr("CG", it)
+			return res
+		}
 		if opt.Checkpoint != nil && opt.CheckpointEvery > 0 && it > 0 &&
 			it%opt.CheckpointEvery == 0 && !justResumed {
 			opt.Checkpoint(captureCG(n, it, &res, x, r, p, rz))
@@ -121,6 +133,9 @@ func CG(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options) Re
 		if opt.RecordHistory {
 			//lint:ignore allocfree History recording is opt-in diagnostics, excluded from the steady-state contract
 			res.History = append(res.History, rn)
+		}
+		if opt.Progress != nil {
+			opt.Progress(it+1, rn)
 		}
 		if rn <= tolAbs {
 			res.Converged = true

@@ -10,6 +10,34 @@ import (
 // test for it with errors.Is(res.Err, krylov.ErrBreakdown).
 var ErrBreakdown = errors.New("krylov: breakdown")
 
+// ErrCanceled is the sentinel a cooperatively stopped solve wraps: the
+// caller's Options.Stop returned true at an iteration boundary and the
+// solver returned with its current (uncontaminated) iterate. Callers test
+// for it with errors.Is(res.Err, krylov.ErrCanceled).
+var ErrCanceled = errors.New("krylov: canceled")
+
+// CanceledError records where a solve was cooperatively stopped. It wraps
+// ErrCanceled. Unlike a breakdown, a canceled solve's iterate is the last
+// completed restart's (GMRES) or iteration's (CG) — valid, just not
+// converged.
+type CanceledError struct {
+	Method    string // "GMRES", "FGMRES" or "CG"
+	Iteration int    // matrix-vector products performed when stopped
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("krylov: %s canceled at iteration %d", e.Method, e.Iteration)
+}
+
+// Unwrap makes errors.Is(e, ErrCanceled) true.
+func (e *CanceledError) Unwrap() error { return ErrCanceled }
+
+// canceledErr builds the solver-side cancellation record.
+func canceledErr(method string, iter int) *CanceledError {
+	//lint:ignore allocfree cancellation is a terminal once-per-solve event, not steady-state
+	return &CanceledError{Method: method, Iteration: iter}
+}
+
 // BreakdownError describes where and why an iteration broke down: a
 // Givens rotation annihilated to zero (Krylov space exhausted), an inner
 // product or norm went NaN/Inf (poisoned operator, singular

@@ -48,6 +48,24 @@ type Options struct {
 	// "convergence monitors".
 	RecordHistory bool
 
+	// Stop, when non-nil, is polled once per iteration at the iteration
+	// boundary (the same replicated point the checkpoint hook fires at);
+	// returning true ends the solve cooperatively with a *CanceledError
+	// wrapping ErrCanceled. In a distributed solve the decision must be
+	// identical on every rank at the same iteration or the ranks desync
+	// inside the next collective — wire Stop through a collective vote
+	// (see dist.Comm.VoteStop), never through a bare per-rank flag. Nil
+	// (the default) costs a single comparison per iteration and leaves
+	// the solve bit-identical to earlier releases.
+	Stop func() bool
+
+	// Progress, when non-nil, is invoked after every iteration with the
+	// iteration count and the current (estimated) residual norm — the
+	// live-streaming counterpart of RecordHistory. The values are exactly
+	// the ones History records. The callback runs on the rank goroutine;
+	// it must not block for long and must not call back into the solver.
+	Progress func(iter int, resid float64)
+
 	// Span, when non-nil, opens an observability span of the given kind
 	// (an obs.Kind* constant) and returns its closer. The distributed
 	// driver wires this to the rank's dist.Comm span hooks; nil means
@@ -238,6 +256,9 @@ func GMRES(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options)
 					//lint:ignore allocfree History recording is opt-in diagnostics, excluded from the steady-state contract
 					res.History = append(res.History, beta)
 				}
+				if opt.Progress != nil {
+					opt.Progress(totalIters, beta)
+				}
 				if beta == 0 {
 					res.Converged = true
 					res.Final = 0
@@ -264,7 +285,17 @@ func GMRES(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options)
 		}
 
 		j := j0
+		stopped := false
 		for ; j < m && totalIters < opt.MaxIters; j++ {
+			// Cooperative cancellation, polled at the iteration boundary —
+			// the same replicated point the checkpoint hook fires at, so in
+			// a distributed solve every rank leaves the loop at the same
+			// iteration. The iterate is still updated from the columns
+			// accumulated so far before returning.
+			if opt.Stop != nil && opt.Stop() {
+				stopped = true
+				break
+			}
 			if opt.Checkpoint != nil && opt.CheckpointEvery > 0 && totalIters > 0 &&
 				totalIters%opt.CheckpointEvery == 0 && !justResumed {
 				opt.Checkpoint(captureGMRES(method, n, m, totalIters, res.Restarts, j,
@@ -343,6 +374,9 @@ func GMRES(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options)
 				//lint:ignore allocfree History recording is opt-in diagnostics, excluded from the steady-state contract
 				res.History = append(res.History, math.Abs(g[j+1]))
 			}
+			if opt.Progress != nil {
+				opt.Progress(totalIters, math.Abs(g[j+1]))
+			}
 
 			if math.Abs(g[j+1]) <= opt.Tol*ref {
 				j++
@@ -391,6 +425,16 @@ func GMRES(n int, matvec Op, precond Prec, dot Dot, b, x []float64, opt Options)
 			opt.charge(2 * nf * float64(j))
 		}
 		res.Iterations = totalIters
+
+		if stopped {
+			// Canceled at an iteration boundary: x now carries the update
+			// from the j columns completed before the stop (j may be zero,
+			// leaving x at the last restart's iterate). |g[j]| is the
+			// residual estimate of that iterate.
+			res.Final = math.Abs(g[j])
+			res.Err = canceledErr(method, totalIters)
+			return res
+		}
 
 		if res.Breakdown {
 			// Recompute the true residual and return. A lucky breakdown —

@@ -1,6 +1,7 @@
 package krylov
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -106,6 +107,12 @@ func ResilientSolve(c *dist.Comm, s *dsys.System, stages []Stage, b, x []float64
 				log.Recovered = true
 				return res, log
 			}
+			if errors.Is(res.Err, ErrCanceled) {
+				// Cancellation is a caller decision, not a fault: the ladder
+				// must not retry or escalate past it. The vote is replicated,
+				// so every rank returns here together.
+				return res, log
+			}
 			// A failed resume may have contaminated the iterate; the ladder
 			// below starts from a zero restart.
 			first = false
@@ -146,6 +153,11 @@ func ResilientSolve(c *dist.Comm, s *dsys.System, stages []Stage, b, x []float64
 			})
 			if res.Converged {
 				log.Recovered = si > 0 || attempt > 1
+				return res, log
+			}
+			if errors.Is(res.Err, ErrCanceled) {
+				// See the resume path: cancellation ends the ladder, on
+				// every rank, at the same attempt.
 				return res, log
 			}
 			if res.Err == nil {

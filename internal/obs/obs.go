@@ -79,6 +79,24 @@ type Collector struct {
 	mu       sync.Mutex
 	ranks    map[int]*RankRecorder
 	counters map[string]float64
+	live     func(Event)
+}
+
+// SetLiveSink registers a callback invoked with every completed span as
+// its Span.End runs — the hook a streaming service uses to push phase
+// events to subscribers while the solve is still in flight. The sink is
+// copied into each rank recorder when the recorder is created, so it
+// must be set before the world starts; it runs on rank goroutines
+// (possibly several at once) and must be cheap and thread-safe. A nil
+// sink (the default) changes nothing: recording stays lock-free and
+// allocation-free. No-op on a nil collector.
+func (c *Collector) SetLiveSink(fn func(Event)) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.live = fn
+	c.mu.Unlock()
 }
 
 // NewCollector creates an empty collector whose wall-clock epoch is now.
@@ -105,7 +123,7 @@ func (c *Collector) Rank(r int) *RankRecorder {
 	defer c.mu.Unlock()
 	rec, ok := c.ranks[r]
 	if !ok {
-		rec = &RankRecorder{rank: r, epoch: c.epoch, counters: make(map[string]float64)}
+		rec = &RankRecorder{rank: r, epoch: c.epoch, counters: make(map[string]float64), live: c.live}
 		c.ranks[r] = rec
 	}
 	return rec
@@ -269,6 +287,7 @@ type RankRecorder struct {
 	epoch    time.Time
 	events   []Event
 	counters map[string]float64
+	live     func(Event) // copied from the collector at creation; may be nil
 }
 
 // Span is a handle to an open event. The zero Span (from a nil
@@ -308,7 +327,8 @@ func (r *RankRecorder) BeginComm(kind string, peer, tag, bytes int, vclock float
 	return s
 }
 
-// End closes the span at virtual time vclock.
+// End closes the span at virtual time vclock and, when the collector has
+// a live sink, publishes the completed event to it.
 func (s Span) End(vclock float64) {
 	if s.rec == nil {
 		return
@@ -316,6 +336,9 @@ func (s Span) End(vclock float64) {
 	e := &s.rec.events[s.idx]
 	e.VEnd = vclock
 	e.WEnd = time.Since(s.rec.epoch).Nanoseconds()
+	if s.rec.live != nil {
+		s.rec.live(*e)
+	}
 }
 
 // Count increments the named per-rank counter. No-op on nil.

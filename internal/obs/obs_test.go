@@ -165,3 +165,39 @@ func TestValidateChromeTraceRejects(t *testing.T) {
 		t.Errorf("valid trace rejected: %v", err)
 	}
 }
+
+// TestLiveSinkPublishesCompletedSpans: a registered live sink sees every
+// span exactly once, at End time, with its final fields, and recording
+// into the collector is unchanged.
+func TestLiveSinkPublishesCompletedSpans(t *testing.T) {
+	c := NewCollector()
+	var got []Event
+	c.SetLiveSink(func(e Event) { got = append(got, e) })
+	rec := c.Rank(0)
+	sp := rec.Begin("spmv", "", 1.0)
+	if len(got) != 0 {
+		t.Fatal("sink fired before End")
+	}
+	sp.End(2.0)
+	sp2 := rec.BeginComm("send", 1, 7, 80, 2.0)
+	sp2.End(2.5)
+	if len(got) != 2 {
+		t.Fatalf("sink saw %d events, want 2", len(got))
+	}
+	if got[0].Kind != "spmv" || got[0].VEnd != 2.0 {
+		t.Fatalf("event 0 = %+v", got[0])
+	}
+	if got[1].Kind != "send" || got[1].Peer != 1 || got[1].Bytes != 80 {
+		t.Fatalf("event 1 = %+v", got[1])
+	}
+	if len(c.Events()) != 2 {
+		t.Fatal("live sink must not replace recording")
+	}
+	// The sink is copied at recorder creation: setting it after a
+	// recorder exists does not retroactively attach (documented contract).
+	c2 := NewCollector()
+	r2 := c2.Rank(0)
+	c2.SetLiveSink(func(Event) { t.Fatal("late sink must not attach to existing recorder") })
+	c2.Rank(0) // same recorder back
+	r2.Begin("spmv", "", 0).End(1)
+}

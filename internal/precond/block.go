@@ -2,6 +2,7 @@ package precond
 
 import (
 	"fmt"
+	"sync"
 
 	"parapre/internal/arms"
 	"parapre/internal/dist"
@@ -21,8 +22,12 @@ type Block struct {
 	name string
 	f    *ilu.LU
 	// Optional fill-reducing pre-ordering (RCM): the factorization is of
-	// P·A_i·Pᵀ and Apply permutes in and out.
+	// P·A_i·Pᵀ and Apply permutes in and out. The permutation scratch is
+	// shared mutable state, so the RCM path serializes concurrent Applies
+	// (core.Session runs simultaneous solves over one preconditioner set);
+	// the plain path reads only the immutable factor and needs no lock.
 	perm       sparse.Perm
+	mu         sync.Mutex
 	rBuf, zBuf []float64
 }
 
@@ -53,9 +58,11 @@ func (b *Block) Apply(c *dist.Comm, z, r []float64) {
 		c.Compute(b.f.SolveFlops())
 		return
 	}
+	b.mu.Lock()
 	b.perm.ApplyVecTo(b.rBuf, r)
 	b.f.Solve(b.zBuf, b.rBuf)
 	b.perm.ScatterVecTo(z, b.zBuf)
+	b.mu.Unlock()
 	c.Compute(b.f.SolveFlops() + 2*float64(len(r)))
 }
 
@@ -99,6 +106,10 @@ func NewBlockOrdered(s *dsys.System, useILU0 bool, opt ilu.ILUTOptions) (*Block,
 // ARMS inside a Schur framework; this variant uses it directly, like
 // Block 2 uses ILUT).
 type BlockARMS struct {
+	// The multilevel sweep works through per-level scratch owned by the
+	// solver, so concurrent Applies (simultaneous Session solves) are
+	// serialized. Purely local — no communication happens under the lock.
+	mu     sync.Mutex
 	solver *arms.Solver
 }
 
@@ -114,7 +125,9 @@ func NewBlockARMS(s *dsys.System, opt arms.Options) (*BlockARMS, error) {
 
 // Apply performs the multilevel forward/backward sweep.
 func (b *BlockARMS) Apply(c *dist.Comm, z, r []float64) {
+	b.mu.Lock()
 	b.solver.Apply(z, r)
+	b.mu.Unlock()
 	c.Compute(b.solver.SolveFlops())
 }
 
@@ -128,7 +141,10 @@ func (b *BlockARMS) SetupFlops() float64 { return 2 * b.solver.SolveFlops() }
 // factorization — the pARMS robustness option for subdomain blocks with
 // weak diagonals (strong convection, saddle-like couplings).
 type BlockPivot struct {
-	p *ilu.PivLU
+	// PivLU.Solve permutes through internal scratch; serialize concurrent
+	// Applies (simultaneous Session solves). Purely local.
+	mu sync.Mutex
+	p  *ilu.PivLU
 }
 
 // NewBlock2Pivot builds the pivoting block preconditioner for this rank's
@@ -143,7 +159,9 @@ func NewBlock2Pivot(s *dsys.System, opt ilu.ILUTPOptions) (*BlockPivot, error) {
 
 // Apply performs the pivoted backward/forward solve.
 func (b *BlockPivot) Apply(c *dist.Comm, z, r []float64) {
+	b.mu.Lock()
 	b.p.Solve(z, r)
+	b.mu.Unlock()
 	c.Compute(b.p.SolveFlops())
 }
 
