@@ -61,7 +61,7 @@ func main() {
 		tol     = flag.Float64("tol", 0.10, "relative modeled-time regression tolerance for -compare")
 		workers = flag.Int("workers", 0, "shared-memory worker count (0 = GOMAXPROCS / PARAPRE_WORKERS)")
 
-		precKind  = flag.String("precond", "", `narrow every experiment to one preconditioner column (e.g. "Schur 1")`)
+		precKind  = flag.String("precond", "", `narrow every experiment to one preconditioner column, case-insensitive (e.g. "Schur 1", "mslr")`)
 		ckptPath  = flag.String("checkpoint", "", "durable checkpoint file (requires a single-cell sweep: one -procs value, one -precond column)")
 		ckptEvery = flag.Int("checkpoint-every", 0, "checkpoint the solver recurrence every N iterations (0 = off)")
 		restore   = flag.String("restore", "", "resume the sweep's solve mid-recurrence from this checkpoint file")
@@ -139,7 +139,7 @@ func main() {
 			}
 			var kept []precond.Kind
 			for _, k := range toRun[i].Preconds {
-				if string(k) == *precKind {
+				if strings.EqualFold(string(k), *precKind) {
 					kept = append(kept, k)
 				}
 			}

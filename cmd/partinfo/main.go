@@ -75,6 +75,11 @@ func main() {
 			100*float64(iface)/float64(g.NumVertices()))
 	}
 
-	report(fmt.Sprintf("general (seed %d):", *seed), partition.General(g, *p, *seed))
+	gen, err := partition.General(g, *p, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "partinfo:", err)
+		os.Exit(1)
+	}
+	report(fmt.Sprintf("general (seed %d):", *seed), gen)
 	report("simple (boxes):", partition.Simple(mesh.X, mesh.Dim, *p))
 }

@@ -56,7 +56,7 @@ func main() {
 		name    = flag.String("case", "tc1-poisson2d", "test case name")
 		p       = flag.Int("p", 4, "number of (simulated) processors")
 		size    = flag.Int("size", 0, "grid resolution parameter (0 = case default)")
-		kind    = flag.String("precond", "Schur 1", `preconditioner: "Schur 1", "Schur 2", "Block 1", "Block 2", "None"`)
+		kind    = flag.String("precond", "Schur 1", `preconditioner: "Schur 1", "Schur 2", "MSLR", "Block 1", "Block 2", "None"`)
 		machine = flag.String("machine", "cluster", "machine model: cluster | origin")
 		simple  = flag.Bool("simple", false, "use the simple (box) partitioning scheme")
 		verify  = flag.Bool("verify", false, "compare against a tight sequential reference solve")

@@ -41,7 +41,10 @@ func main() {
 
 	// 1. Decompose Ω first.
 	ptr, adj := g.NodeGraph()
-	part := partition.General(&partition.Graph{Ptr: ptr, Adj: adj}, p, 1)
+	part, err := partition.General(&partition.Graph{Ptr: ptr, Adj: adj}, p, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// 2. Each processor discretizes its own subdomain: only its rows.
 	slabs := make([]*sparse.CSR, p)

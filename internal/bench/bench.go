@@ -145,7 +145,7 @@ func Experiments() []Experiment {
 		{ID: "tc1-cluster", Title: "Test Case 1 (Poisson 2D), Linux cluster",
 			CaseName: "tc1-poisson2d", Size: 129, Machine: dist.LinuxCluster,
 			Ps:       []int{2, 4, 8, 16},
-			Preconds: allFour()},
+			Preconds: clusterColumns()},
 		{ID: "tc1-origin", Title: "Test Case 1 (Poisson 2D), Origin 3800",
 			CaseName: "tc1-poisson2d", Size: 129, Machine: dist.Origin3800,
 			Ps:       []int{8, 16, 32},
@@ -153,7 +153,7 @@ func Experiments() []Experiment {
 		{ID: "tc2-cluster", Title: "Test Case 2 (Poisson 3D), Linux cluster",
 			CaseName: "tc2-poisson3d", Size: 21, Machine: dist.LinuxCluster,
 			Ps:       []int{2, 4, 8, 16},
-			Preconds: allFour()},
+			Preconds: clusterColumns()},
 		{ID: "tc2-origin", Title: "Test Case 2 (Poisson 3D), Origin 3800",
 			CaseName: "tc2-poisson3d", Size: 21, Machine: dist.Origin3800,
 			Ps:       []int{8, 16, 32},
@@ -161,15 +161,15 @@ func Experiments() []Experiment {
 		{ID: "tc3-cluster", Title: "Test Case 3 (Poisson, unstructured), Linux cluster",
 			CaseName: "tc3-unstructured", Size: 129, Machine: dist.LinuxCluster,
 			Ps:       []int{2, 4, 8, 16},
-			Preconds: allFour()},
+			Preconds: clusterColumns()},
 		{ID: "tc4-cluster", Title: "Test Case 4 (heat 3D), Linux cluster",
 			CaseName: "tc4-heat3d", Size: 21, Machine: dist.LinuxCluster,
 			Ps:       []int{2, 4, 8, 16},
-			Preconds: allFour()},
+			Preconds: clusterColumns()},
 		{ID: "tc5-cluster", Title: "Test Case 5 (convection-diffusion), Linux cluster",
 			CaseName: "tc5-convdiff", Size: 129, Machine: dist.LinuxCluster,
 			Ps:       []int{2, 4, 8, 16},
-			Preconds: allFour()},
+			Preconds: clusterColumns()},
 		{ID: "tc5-origin", Title: "Test Case 5 (convection-diffusion), Origin 3800",
 			CaseName: "tc5-convdiff", Size: 129, Machine: dist.Origin3800,
 			Ps:       []int{8, 16, 32},
@@ -177,15 +177,15 @@ func Experiments() []Experiment {
 		{ID: "tc6-cluster", Title: "Test Case 6 (linear elasticity), Linux cluster",
 			CaseName: "tc6-elasticity", Size: 49, Machine: dist.LinuxCluster,
 			Ps:       []int{2, 4, 8, 16},
-			Preconds: []precond.Kind{precond.KindSchur1, precond.KindSchur2, precond.KindBlock1, precond.KindBlock2}},
+			Preconds: []precond.Kind{precond.KindSchur1, precond.KindSchur2, precond.KindMSLR, precond.KindBlock1, precond.KindBlock2}},
 		{ID: "shape", Title: "§5.1 Effect of subdomain shape (Test Case 2, P=16): general vs simple partitioning",
 			CaseName: "tc2-poisson3d", Size: 21, Machine: dist.LinuxCluster,
 			Ps:       []int{16},
-			Preconds: allFour()},
+			Preconds: clusterColumns()},
 		{ID: "jump", Title: "EXTENSION: 1000:1 discontinuous-coefficient Poisson (not in the paper)",
 			CaseName: "tc7-jump", Size: 65, Machine: dist.LinuxCluster,
 			Ps:       []int{2, 4, 8, 16},
-			Preconds: allFour()},
+			Preconds: clusterColumns()},
 		{ID: "schwarz", Title: "§5.2 Additive Schwarz on Test Case 1 (with and without coarse-grid corrections)",
 			CaseName: "tc1-poisson2d", Size: 129, Machine: dist.LinuxCluster,
 			Ps:          []int{4, 16},
@@ -195,8 +195,8 @@ func Experiments() []Experiment {
 	}
 }
 
-func allFour() []precond.Kind {
-	return []precond.Kind{precond.KindSchur1, precond.KindSchur2, precond.KindBlock1, precond.KindBlock2}
+func clusterColumns() []precond.Kind {
+	return []precond.Kind{precond.KindSchur1, precond.KindSchur2, precond.KindMSLR, precond.KindBlock1, precond.KindBlock2}
 }
 
 // ByID returns the experiment with the given id.

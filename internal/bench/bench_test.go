@@ -54,7 +54,7 @@ func TestTC1ClusterTinyRun(t *testing.T) {
 		t.Fatal("table count")
 	}
 	tb := tables[0]
-	if len(tb.Rows) != 2 || len(tb.Columns) != 4 {
+	if len(tb.Rows) != 2 || len(tb.Columns) != 5 {
 		t.Fatalf("table shape %dx%d", len(tb.Rows), len(tb.Columns))
 	}
 	for _, r := range tb.Rows {

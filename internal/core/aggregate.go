@@ -6,7 +6,24 @@ import (
 
 	"parapre/internal/dsys"
 	"parapre/internal/krylov"
+	"parapre/internal/precond"
+	"parapre/internal/schur"
 )
+
+// joinPrecondCommErr folds a communication failure the preconditioner
+// recorded during its inner Schur solves into the rank's result: the
+// poisoned inner solve broke the outer recurrence down, and the typed
+// exchange error is the root cause the breakdown diagnostics must carry.
+func joinPrecondCommErr(pc precond.Preconditioner, res *krylov.Result) {
+	rec, ok := pc.(precond.CommErrRecorder)
+	if !ok {
+		return
+	}
+	if cerr := rec.TakeCommErr(); cerr != nil {
+		res.Breakdown = true
+		res.Err = errors.Join(res.Err, cerr)
+	}
+}
 
 // RankSolveError attributes a per-rank solver error to the rank that
 // produced it. The distributed recurrence is replicated, so most solver
@@ -67,13 +84,24 @@ func aggregateResult(res *Result, results []krylov.Result, logs []*krylov.Recove
 	// rank, but only the rank whose Recv failed carries the communication
 	// root cause — surfacing rank 0's bare BreakdownError would hide it.
 	// If the surfaced error lacks an exchange cause that another rank
-	// recorded, join the first such cause, attributed to its rank.
+	// recorded — whether from the system-level exchange (dsys) or a
+	// Schur-type preconditioner's interface exchange (schur) — join the
+	// first such cause, attributed to its rank.
 	var ex *dsys.ExchangeError
-	if res.Err != nil && !errors.As(res.Err, &ex) {
+	var sx *schur.ExchangeError
+	if res.Err != nil && !errors.As(res.Err, &ex) && !errors.As(res.Err, &sx) {
 		for r := range results {
+			if r == res.ErrRank {
+				continue
+			}
 			var rex *dsys.ExchangeError
-			if r != res.ErrRank && errors.As(results[r].Err, &rex) {
+			var rsx *schur.ExchangeError
+			if errors.As(results[r].Err, &rex) {
 				res.Err = errors.Join(res.Err, &RankSolveError{Rank: r, Err: rex})
+				break
+			}
+			if errors.As(results[r].Err, &rsx) {
+				res.Err = errors.Join(res.Err, &RankSolveError{Rank: r, Err: rsx})
 				break
 			}
 		}

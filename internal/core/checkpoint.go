@@ -84,6 +84,7 @@ func (wr *worldRun) rank(c *dist.Comm) {
 	default:
 		wr.results[c.Rank()] = krylov.Distributed(c, s, prec, s.B, x, sopt)
 	}
+	joinPrecondCommErr(pc, &wr.results[c.Rank()])
 	wr.xl[c.Rank()] = x
 }
 
@@ -229,7 +230,10 @@ func SolveRank(p *Problem, cfg Config, rank int, tr dist.Transport, sink ckpt.Si
 		sink = checkpointSink(cfg)
 	}
 
-	part := Partition(p, cfg)
+	part, err := Partition(p, cfg)
+	if err != nil {
+		return krylov.Result{}, dist.Stats{}, err
+	}
 	systems := dsys.Distribute(p.A, p.B, part, cfg.P)
 
 	wr := &worldRun{cfg: cfg, systems: systems, sink: sink}

@@ -20,6 +20,7 @@ import (
 	"parapre/internal/grid"
 	"parapre/internal/ilu"
 	"parapre/internal/krylov"
+	"parapre/internal/mslr"
 	"parapre/internal/obs"
 	"parapre/internal/par"
 	"parapre/internal/partition"
@@ -95,6 +96,7 @@ type Config struct {
 	ILUT    ilu.ILUTOptions       // Block 2 subdomain factorization
 	Schur1  precond.Schur1Options // used when Precond == KindSchur1
 	Schur2  precond.Schur2Options // used when Precond == KindSchur2
+	MSLR    mslr.Options          // used when Precond == KindMSLR
 	ARMS    arms.Options          // Block ARMS subdomain solver
 	// PermTol is the ILUTP pivoting tolerance for Block 2P (default 1).
 	PermTol float64
@@ -188,6 +190,7 @@ func DefaultConfig(p int, kind precond.Kind) Config {
 		ILUT:    ilu.DefaultILUT(),
 		Schur1:  precond.DefaultSchur1(),
 		Schur2:  precond.DefaultSchur2(),
+		MSLR:    mslr.DefaultOptions(),
 		ARMS:    arms.DefaultOptions(),
 		Solver:  krylov.Options{Restart: 20, MaxIters: 1000, Tol: 1e-6, Flexible: true},
 	}
@@ -233,8 +236,10 @@ type Result struct {
 }
 
 // Partition computes the row partition for the problem under cfg. For
-// mesh-less problems only the general (graph) scheme is available.
-func Partition(p *Problem, cfg Config) []int {
+// mesh-less problems only the general (graph) scheme is available. An
+// invalid request (e.g. P < 1) surfaces the partitioner's typed
+// *partition.PartitionError.
+func Partition(p *Problem, cfg Config) ([]int, error) {
 	seed := cfg.Machine.Seed
 	if cfg.PartSeed != 0 {
 		seed = cfg.PartSeed
@@ -253,10 +258,14 @@ func Partition(p *Problem, cfg Config) []int {
 		nodePart = partition.Simple(p.Mesh.X, p.Mesh.Dim, cfg.P)
 	default:
 		ptr, adj := p.Mesh.NodeGraph()
-		nodePart = partition.General(&partition.Graph{Ptr: ptr, Adj: adj}, cfg.P, seed)
+		var err error
+		nodePart, err = partition.General(&partition.Graph{Ptr: ptr, Adj: adj}, cfg.P, seed)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if dpn == 1 {
-		return nodePart
+		return nodePart, nil
 	}
 	part := make([]int, nodes*dpn)
 	for n := 0; n < nodes; n++ {
@@ -264,7 +273,7 @@ func Partition(p *Problem, cfg Config) []int {
 			part[n*dpn+d] = nodePart[n]
 		}
 	}
-	return part
+	return part, nil
 }
 
 // setupFlopFactor is the heuristic cost of constructing an incomplete
@@ -289,7 +298,11 @@ func Solve(p *Problem, cfg Config) (*Result, error) {
 		// wiring is built around.
 		part = precond.BoxPartition(cfg.Schwarz.M, cfg.Schwarz.Px, cfg.Schwarz.Py)
 	} else {
-		part = Partition(p, cfg)
+		var err error
+		part, err = Partition(p, cfg)
+		if err != nil {
+			return nil, err
+		}
 	}
 	systems := dsys.Distribute(p.A, p.B, part, cfg.P)
 
@@ -473,6 +486,8 @@ func buildRankPrecond(cfg Config, s *dsys.System, kind precond.Kind) (precond.Pr
 		return precond.NewSchur1(s, cfg.Schur1)
 	case kind == precond.KindSchur2:
 		return precond.NewSchur2(s, cfg.Schur2)
+	case kind == precond.KindMSLR:
+		return precond.NewMSLR(s, cfg.MSLR)
 	default:
 		return precond.NewIdentity(), nil
 	}
@@ -484,7 +499,7 @@ func buildRankPrecond(cfg Config, s *dsys.System, kind precond.Kind) (precond.Pr
 // paper's most robust method, Schur 1.
 func fallbackKind(k precond.Kind) precond.Kind {
 	switch k {
-	case precond.KindSchur1, precond.KindSchur2:
+	case precond.KindSchur1, precond.KindSchur2, precond.KindMSLR:
 		return precond.KindBlock2
 	default:
 		return precond.KindSchur1

@@ -38,7 +38,7 @@ func TestSolveAllCasesAllPreconditioners(t *testing.T) {
 		"tc6-elasticity":   9,
 		"tc7-jump":         17,
 	}
-	kinds := []precond.Kind{precond.KindBlock1, precond.KindBlock2, precond.KindSchur1, precond.KindSchur2}
+	kinds := []precond.Kind{precond.KindBlock1, precond.KindBlock2, precond.KindSchur1, precond.KindSchur2, precond.KindMSLR}
 	for _, c := range cases.All() {
 		for _, k := range kinds {
 			res := solveCase(t, c.Name, sizes[c.Name], 4, k, nil)

@@ -10,6 +10,7 @@ import (
 	"parapre/internal/krylov"
 	"parapre/internal/paranoid"
 	"parapre/internal/precond"
+	"parapre/internal/schur"
 )
 
 // skipUnderParanoid skips the NaN-poisoning scenarios: under the
@@ -104,5 +105,39 @@ func TestTargetAllRanksMatchesUntargeted(t *testing.T) {
 		if ref.History[i] != all.History[i] {
 			t.Fatalf("history[%d]: %v vs %v", i, ref.History[i], all.History[i])
 		}
+	}
+}
+
+// A corrupted exchange during a Schur 1 solve can hit either the
+// system-level (dsys) exchange of the outer matvec or the
+// preconditioner's interface exchange (schur) inside the inner Schur
+// solve. Both must surface as typed, rank-attributed causes in the
+// aggregated result — never the panic the legacy schur.Iface.Exchange
+// raised on a failed receive.
+func TestSchurPrecondFaultSurfacesTypedExchangeError(t *testing.T) {
+	skipUnderParanoid(t)
+	prob := buildProblem(t, "tc1-poisson2d", 33)
+	cfg := core.DefaultConfig(4, precond.KindSchur1)
+	cfg.Faults = &dist.FaultPlan{Seed: 5, CorruptProb: 0.3, TargetRecvRanks: []int{2}}
+	res, err := core.Solve(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err == nil {
+		t.Fatal("corrupted solve reported no error")
+	}
+	var dex *dsys.ExchangeError
+	var sex *schur.ExchangeError
+	switch {
+	case errors.As(res.Err, &sex):
+		if sex.Rank != 2 {
+			t.Errorf("schur exchange error on rank %d, plan targeted rank 2", sex.Rank)
+		}
+	case errors.As(res.Err, &dex):
+		if dex.Rank != 2 {
+			t.Errorf("dsys exchange error on rank %d, plan targeted rank 2", dex.Rank)
+		}
+	default:
+		t.Fatalf("Err = %v, want a typed exchange cause", res.Err)
 	}
 }

@@ -47,7 +47,7 @@ type Session struct {
 	// single-writer by contract).
 	mu sync.RWMutex
 	// serialOnly marks the communicating preconditioners (Schur 1/2,
-	// Schwarz, overlapping blocks): their solves can never overlap.
+	// MSLR, Schwarz, overlapping blocks): their solves can never overlap.
 	serialOnly bool
 
 	// wsPool recycles the per-rank solver workspaces across (possibly
@@ -95,7 +95,11 @@ func NewSession(p *Problem, cfg Config) (*Session, error) {
 	if cfg.Schwarz != nil {
 		s.part = precond.BoxPartition(cfg.Schwarz.M, cfg.Schwarz.Px, cfg.Schwarz.Py)
 	} else {
-		s.part = Partition(p, cfg)
+		var err error
+		s.part, err = Partition(p, cfg)
+		if err != nil {
+			return nil, err
+		}
 	}
 	s.systems = dsys.Distribute(p.A, p.B, s.part, cfg.P)
 
@@ -149,6 +153,7 @@ func NewSession(p *Problem, cfg Config) (*Session, error) {
 	}
 	s.serialOnly = cfg.Schwarz != nil ||
 		cfg.Precond == precond.KindSchur1 || cfg.Precond == precond.KindSchur2 ||
+		cfg.Precond == precond.KindMSLR ||
 		(cfg.OverlapLevels > 0 && (cfg.Precond == precond.KindBlock1 || cfg.Precond == precond.KindBlock2))
 	s.wsPool.New = func() any {
 		ws := make([]*krylov.Workspace, cfg.P)
@@ -267,6 +272,7 @@ func (s *Session) SolveWith(b []float64, opts SolveOptions) (*Result, error) {
 		default:
 			results[c.Rank()] = krylov.Distributed(c, sys, prec, bl[c.Rank()], x, sopt)
 		}
+		joinPrecondCommErr(pc, &results[c.Rank()])
 		xl[c.Rank()] = x
 	})
 	if runErr != nil {

@@ -36,7 +36,10 @@ func buildBoth(t *testing.T, m, p int, seed int64) (global, slabbed []*dsys.Syst
 		}
 	}
 	ptr, adj := g.NodeGraph()
-	part := partition.General(&partition.Graph{Ptr: ptr, Adj: adj}, p, seed)
+	part, err := partition.General(&partition.Graph{Ptr: ptr, Adj: adj}, p, seed)
+	if err != nil {
+		panic(err)
+	}
 
 	// Global path.
 	aG, bG := fem.AssembleScalar(g, pde)
@@ -52,7 +55,6 @@ func buildBoth(t *testing.T, m, p int, seed int64) (global, slabbed []*dsys.Syst
 		slabs[r], rhs[r] = fem.AssembleScalarRows(g, pde, owned)
 		fem.ApplyDirichletRows(slabs[r], rhs[r], bc, owned)
 	}
-	var err error
 	slabbed, err = dsys.DistributeRows(slabs, rhs, part)
 	if err != nil {
 		t.Fatal(err)
@@ -184,7 +186,10 @@ func TestDistributedElasticityAssemblyMatchesGlobal(t *testing.T) {
 		}
 	}
 	ptr, adj := g.NodeGraph()
-	nodePart := partition.General(&partition.Graph{Ptr: ptr, Adj: adj}, p, 2)
+	nodePart, err := partition.General(&partition.Graph{Ptr: ptr, Adj: adj}, p, 2)
+	if err != nil {
+		panic(err)
+	}
 	part := make([]int, 2*g.NumNodes())
 	for n := 0; n < g.NumNodes(); n++ {
 		part[2*n], part[2*n+1] = nodePart[n], nodePart[n]

@@ -33,7 +33,10 @@ func poissonSystem(t testing.TB, m, p int, seed int64) (*sparse.CSR, []float64, 
 	}
 	fem.ApplyDirichlet(a, b, bc)
 	ptr, adj := g.NodeGraph()
-	part := partition.General(&partition.Graph{Ptr: ptr, Adj: adj}, p, seed)
+	part, err := partition.General(&partition.Graph{Ptr: ptr, Adj: adj}, p, seed)
+	if err != nil {
+		panic(err)
+	}
 	return a, b, part
 }
 
@@ -194,7 +197,10 @@ func TestDistributeUnsymmetricPattern(t *testing.T) {
 	fem.ApplyDirichlet(a, b, bc)
 	ptr, adj := g.NodeGraph()
 	const p = 3
-	part := partition.General(&partition.Graph{Ptr: ptr, Adj: adj}, p, 7)
+	part, err := partition.General(&partition.Graph{Ptr: ptr, Adj: adj}, p, 7)
+	if err != nil {
+		panic(err)
+	}
 	systems := Distribute(a, b, part, p)
 	for _, s := range systems {
 		if err := s.CheckStructure(); err != nil {

@@ -39,8 +39,8 @@ type Spec struct {
 	// Procs is the simulated processor count (default 4).
 	Procs int `json:"procs,omitempty"`
 	// Precond is the paper notation ("Block 1", "Block 2", "Block ARMS",
-	// "Block 2P", "Block IC", "Schur 1", "Schur 2", "None"; default
-	// "Block 2").
+	// "Block 2P", "Block IC", "Schur 1", "Schur 2", "MSLR", "None";
+	// default "Block 2").
 	Precond string `json:"precond,omitempty"`
 	// Machine selects the modeled machine: "LinuxCluster" (default),
 	// "Origin3800", or "Origin3800Unloaded".
@@ -102,7 +102,7 @@ func (s *Spec) Validate() error {
 	switch precond.Kind(s.Precond) {
 	case precond.KindBlock1, precond.KindBlock2, precond.KindBlockARMS,
 		precond.KindBlock2P, precond.KindBlockIC, precond.KindSchur1,
-		precond.KindSchur2, precond.KindNone:
+		precond.KindSchur2, precond.KindMSLR, precond.KindNone:
 	default:
 		return fmt.Errorf("gateway: unknown preconditioner %q", s.Precond)
 	}

@@ -271,7 +271,10 @@ func buildDistributedPoisson(t *testing.T, m, p int) ([]*dsys.System, *sparse.CS
 	}
 	fem.ApplyDirichlet(a, b, bc)
 	ptr, adj := g.NodeGraph()
-	part := partition.General(&partition.Graph{Ptr: ptr, Adj: adj}, p, 3)
+	part, err := partition.General(&partition.Graph{Ptr: ptr, Adj: adj}, p, 3)
+	if err != nil {
+		panic(err)
+	}
 	return dsys.Distribute(a, b, part, p), a, b
 }
 

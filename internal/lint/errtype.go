@@ -31,11 +31,12 @@ import (
 
 // errTypePkgs are the packages whose boundaries the analyzer audits.
 var errTypePkgs = map[string]bool{
-	"ilu":    true,
-	"krylov": true,
-	"dist":   true,
-	"socket": true,
-	"ckpt":   true,
+	"ilu":       true,
+	"krylov":    true,
+	"dist":      true,
+	"socket":    true,
+	"ckpt":      true,
+	"partition": true,
 }
 
 var ErrType = &ProgramAnalyzer{

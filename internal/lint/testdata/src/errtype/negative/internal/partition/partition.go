@@ -1,0 +1,47 @@
+// Negative errtype fixture for the partition package: the documented
+// typed PartitionError, %w wraps and callee passthroughs. The analyzer
+// must stay silent.
+package partition
+
+import "fmt"
+
+// Graph simulates the adjacency structure the partitioner consumes.
+type Graph struct {
+	Ptr []int
+	Adj []int
+}
+
+// PartitionError is the documented typed rejection of a malformed
+// partitioning request.
+type PartitionError struct {
+	P      int
+	N      int
+	Reason string
+}
+
+func (e *PartitionError) Error() string {
+	return fmt.Sprintf("partition: p=%d over %d vertices: %s", e.P, e.N, e.Reason)
+}
+
+// General returns only the typed error, a %w wrap of it, or a callee
+// passthrough.
+func General(g *Graph, p int) ([]int, error) {
+	n := len(g.Ptr) - 1
+	if p < 1 {
+		return nil, &PartitionError{P: p, N: n, Reason: "part count must be positive"}
+	}
+	if err := validate(g); err != nil {
+		return nil, fmt.Errorf("partition: graph rejected: %w", err)
+	}
+	if err := validate(g); err != nil {
+		return nil, err // passthrough from a callee: not fresh
+	}
+	return make([]int, n), nil
+}
+
+func validate(g *Graph) error {
+	if g.Ptr[len(g.Ptr)-1] != len(g.Adj) {
+		return &PartitionError{P: 0, N: len(g.Ptr) - 1, Reason: "truncated adjacency"}
+	}
+	return nil
+}

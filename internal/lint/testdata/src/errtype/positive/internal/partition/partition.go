@@ -1,0 +1,39 @@
+// Positive errtype fixture for the partition package: fresh untyped
+// errors escaping the exported General API instead of the documented
+// PartitionError type.
+package partition
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Graph simulates the adjacency structure the partitioner consumes.
+type Graph struct {
+	Ptr []int
+	Adj []int
+}
+
+// General is exported API: a raw errors.New or a non-wrapping
+// fmt.Errorf crossing the boundary reduces callers to string matching.
+func General(g *Graph, p int) ([]int, error) {
+	if p < 1 {
+		return nil, errors.New("part count must be positive") // WANT errtype
+	}
+	if len(g.Ptr) == 0 {
+		return nil, fmt.Errorf("malformed adjacency over %d parts", p) // WANT errtype
+	}
+	if err := validate(g); err != nil {
+		return nil, err
+	}
+	return make([]int, len(g.Ptr)-1), nil
+}
+
+// validate is unexported but reachable from General: its fresh error
+// surfaces through the exported path and is flagged too.
+func validate(g *Graph) error {
+	if g.Ptr[len(g.Ptr)-1] != len(g.Adj) {
+		return errors.New("truncated adjacency") // WANT errtype
+	}
+	return nil
+}

@@ -1,0 +1,290 @@
+package mslr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"parapre/internal/dist"
+	"parapre/internal/dsys"
+	"parapre/internal/ilu"
+	"parapre/internal/par"
+	"parapre/internal/sparse"
+)
+
+// laplace2D builds the 5-point Poisson matrix on an m×m grid.
+func laplace2D(m int) *sparse.CSR {
+	n := m * m
+	coo := sparse.NewCOO(n, n, 5*n)
+	for j := 0; j < m; j++ {
+		for i := 0; i < m; i++ {
+			r := j*m + i
+			coo.Add(r, r, 4)
+			if i > 0 {
+				coo.Add(r, r-1, -1)
+			}
+			if i < m-1 {
+				coo.Add(r, r+1, -1)
+			}
+			if j > 0 {
+				coo.Add(r, r-m, -1)
+			}
+			if j < m-1 {
+				coo.Add(r, r+m, -1)
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// randDiagDominant builds a random strictly diagonally dominant matrix.
+func randDiagDominant(n int, density float64, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	coo := sparse.NewCOO(n, n, n*n)
+	rowAbs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || rng.Float64() >= density {
+				continue
+			}
+			v := rng.NormFloat64()
+			coo.Add(i, j, v)
+			rowAbs[i] += math.Abs(v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, rowAbs[i]+1+rng.Float64())
+	}
+	return coo.ToCSR()
+}
+
+// completeOpts disables all dropping: ILUT(0, unlimited) is an exact LU.
+var completeOpts = ilu.ILUTOptions{Tau: 0, LFil: 0}
+
+// exactOptions configures MSLR as an exact solver over an n-unknown
+// problem: complete factors, full-rank corrections, and a fully converged
+// interface GMRES.
+func exactOptions(n int) Options {
+	return Options{
+		Levels:     2,
+		Rank:       n,
+		MinBlock:   3,
+		ILUT:       completeOpts,
+		SchurIters: 3*n + 10,
+		SchurTol:   1e-13,
+		Seed:       5,
+	}
+}
+
+// stripePartition splits n rows into p contiguous stripes.
+func stripePartition(n, p int) []int {
+	part := make([]int, n)
+	for i := range part {
+		part[i] = i * p / n
+		if part[i] >= p {
+			part[i] = p - 1
+		}
+	}
+	return part
+}
+
+// applyGlobal runs the collective Apply over a scattered global residual
+// and gathers the result.
+func applyGlobal(t *testing.T, a *sparse.CSR, p int, opts Options, r []float64) []float64 {
+	t.Helper()
+	n := a.Rows
+	systems := dsys.Distribute(a, make([]float64, n), stripePartition(n, p), p)
+	pcs := make([]*Precond, p)
+	for rk, s := range systems {
+		pc, err := New(s, opts)
+		if err != nil {
+			t.Fatalf("rank %d: %v", rk, err)
+		}
+		pcs[rk] = pc
+	}
+	locals := dsys.Scatter(systems, r)
+	zl := make([][]float64, p)
+	dist.Run(p, dist.LinuxCluster(), func(c *dist.Comm) {
+		rk := c.Rank()
+		zl[rk] = make([]float64, systems[rk].NLoc())
+		pcs[rk].Apply(c, zl[rk], locals[rk])
+	})
+	return dsys.Gather(systems, zl)
+}
+
+// With complete factors and full-rank corrections the multilevel solve is
+// exact: Apply must reproduce the dense global solve at every world size,
+// including the sequential P=1 hierarchy.
+func TestExactSettingsMatchDenseInverse(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		a    *sparse.CSR
+	}{
+		{"poisson-7x7", laplace2D(7)},
+		{"random-30", randDiagDominant(30, 0.2, 12)},
+	} {
+		n := tc.a.Rows
+		lu, err := tc.a.Dense().Factor()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := make([]float64, n)
+		rng := rand.New(rand.NewSource(99))
+		for i := range r {
+			r[i] = rng.NormFloat64()
+		}
+		want := lu.Solve(r)
+		for _, p := range []int{1, 2, 3, 4} {
+			got := applyGlobal(t, tc.a, p, exactOptions(n), r)
+			var d, scale float64
+			for i := range got {
+				d = math.Max(d, math.Abs(got[i]-want[i]))
+				scale = math.Max(scale, math.Abs(want[i]))
+			}
+			if d > 1e-10*(1+scale) {
+				t.Errorf("%s P=%d: exact-settings Apply differs from dense solve by %g", tc.name, p, d)
+			}
+		}
+	}
+}
+
+// The hierarchy ordering must be a true permutation of the interior
+// block, and truncated ranks must still produce a finite, usable solve.
+func TestHierarchyPermutationAndTruncatedRank(t *testing.T) {
+	a := laplace2D(9)
+	n := a.Rows
+	opts := Options{Levels: 3, Rank: 4, MinBlock: 6,
+		ILUT: ilu.DefaultILUT(), SchurIters: 4, SchurTol: 1e-2, Seed: 3}
+	root, perm, setup, err := buildTree(a, opts, opts.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.n != n || len(perm) != n {
+		t.Fatalf("hierarchy covers %d of %d rows", root.n, n)
+	}
+	seen := make([]bool, n)
+	for _, v := range perm {
+		if v < 0 || v >= n || seen[v] {
+			t.Fatalf("ordering is not a permutation: %v", perm)
+		}
+		seen[v] = true
+	}
+	if setup <= 0 {
+		t.Fatal("setup flops not accounted")
+	}
+	in := make([]float64, n)
+	out := make([]float64, n)
+	for i := range in {
+		in[i] = float64(i%7) - 3
+	}
+	root.solve(out, in)
+	for i, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("solve produced non-finite entry %g at %d", v, i)
+		}
+	}
+}
+
+// A disconnected interior (empty separators somewhere in the hierarchy)
+// and a rank-0 configuration must both build and solve.
+func TestDegenerateHierarchies(t *testing.T) {
+	// Two decoupled 4x4 Poisson blocks: the top-level separator is empty.
+	m := laplace2D(4)
+	n2 := 2 * m.Rows
+	coo := sparse.NewCOO(n2, n2, 2*m.NNZ())
+	for i := 0; i < m.Rows; i++ {
+		cols, vals := m.Row(i)
+		for k, j := range cols {
+			coo.Add(i, j, vals[k])
+			coo.Add(i+m.Rows, j+m.Rows, vals[k])
+		}
+	}
+	a := coo.ToCSR()
+	for _, rank := range []int{0, 5} {
+		opts := Options{Levels: 2, Rank: rank, MinBlock: 4,
+			ILUT: completeOpts, SchurIters: 3, SchurTol: 1e-2, Seed: 1}
+		root, _, _, err := buildTree(a, opts, opts.Seed)
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+		in := make([]float64, n2)
+		out := make([]float64, n2)
+		for i := range in {
+			in[i] = 1
+		}
+		root.solve(out, in)
+		for _, v := range out {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("rank %d: non-finite solve", rank)
+			}
+		}
+	}
+}
+
+// The low-rank machinery at full rank must invert I−G exactly:
+// for a random contraction G, correct(g) = (I−G)⁻¹·g·(I−H)… — concretely,
+// (I−G)·correct(g) = g when V spans the whole space.
+func TestLowRankFullRankInvertsResidual(t *testing.T) {
+	const m = 9
+	rng := rand.New(rand.NewSource(4))
+	g := sparse.NewDense(m, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			g.Set(i, j, 0.3*rng.NormFloat64()/float64(m))
+		}
+	}
+	lr, err := buildLowRank(m, m, func(dst, src []float64) { g.MulVecTo(dst, src) }, newRNG(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr == nil || lr.k != m {
+		t.Fatalf("full-rank build returned k=%v", lr)
+	}
+	rhs := make([]float64, m)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	cor := make([]float64, m)
+	lr.correct(cor, rhs)
+	// back = (I−G)·cor must equal rhs.
+	back := make([]float64, m)
+	g.MulVecTo(back, cor)
+	for i := range back {
+		back[i] = cor[i] - back[i]
+	}
+	for i := range back {
+		if d := math.Abs(back[i] - rhs[i]); d > 1e-9 {
+			t.Fatalf("(I−G)·correct(g) differs from g at %d by %g", i, d)
+		}
+	}
+}
+
+// Setup and solve are pure functions of (matrix, options): the gathered
+// preconditioned residual must be bit-identical at any par worker count.
+func TestBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	defer par.SetWorkers(par.Workers())
+	a := laplace2D(11)
+	n := a.Rows
+	r := make([]float64, n)
+	rng := rand.New(rand.NewSource(21))
+	for i := range r {
+		r[i] = rng.NormFloat64()
+	}
+	opts := Options{Levels: 2, Rank: 6, MinBlock: 10,
+		ILUT: ilu.DefaultILUT(), SchurIters: 4, SchurTol: 1e-3, Seed: 17}
+	var ref []float64
+	for _, workers := range []int{1, 2, 8} {
+		par.SetWorkers(workers)
+		z := applyGlobal(t, a, 3, opts, r)
+		if ref == nil {
+			ref = z
+			continue
+		}
+		for i := range z {
+			if z[i] != ref[i] {
+				t.Fatalf("workers=%d: z[%d] = %v differs from workers=1 value %v",
+					workers, i, z[i], ref[i])
+			}
+		}
+	}
+}

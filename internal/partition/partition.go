@@ -29,26 +29,45 @@ func (g *Graph) NumVertices() int { return len(g.Ptr) - 1 }
 // Neighbors returns the adjacency list of vertex v.
 func (g *Graph) Neighbors(v int) []int { return g.Adj[g.Ptr[v]:g.Ptr[v+1]] }
 
+// PartitionError reports an invalid partitioning request: a
+// non-positive part count, or a malformed adjacency structure. It is the
+// package's documented typed error, so callers can match on it instead
+// of recovering a panic or string-matching.
+type PartitionError struct {
+	P      int    // requested part count
+	N      int    // vertex count of the graph
+	Reason string // what was wrong with the request
+}
+
+func (e *PartitionError) Error() string {
+	return fmt.Sprintf("partition: p=%d over %d vertices: %s", e.P, e.N, e.Reason)
+}
+
 // General partitions the graph into p parts using seeded greedy graph
 // growing with recursive bisection and FM refinement. It returns part,
 // with part[v] ∈ [0, p) for every vertex v. Every part is non-empty
 // whenever p ≤ NumVertices; when p exceeds the vertex count, vertex v is
 // assigned to part v and the parts ≥ NumVertices stay empty — there are
-// simply not enough vertices to populate them.
-func General(g *Graph, p int, seed int64) []int {
+// simply not enough vertices to populate them (the degenerate request is
+// deliberately legal: empty ranks are supported downstream). A
+// non-positive p or a malformed graph returns a *PartitionError.
+func General(g *Graph, p int, seed int64) ([]int, error) {
 	n := g.NumVertices()
 	if p < 1 {
-		panic(fmt.Sprintf("partition: p = %d", p))
+		return nil, &PartitionError{P: p, N: n, Reason: "part count must be positive"}
+	}
+	if len(g.Ptr) == 0 || g.Ptr[n] != len(g.Adj) {
+		return nil, &PartitionError{P: p, N: n, Reason: "malformed adjacency structure"}
 	}
 	part := make([]int, n)
 	if p == 1 {
-		return part
+		return part, nil
 	}
 	if p >= n {
 		for v := range part {
 			part[v] = v
 		}
-		return part
+		return part, nil
 	}
 	verts := make([]int, n)
 	for i := range verts {
@@ -56,7 +75,7 @@ func General(g *Graph, p int, seed int64) []int {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	bisect(g, verts, 0, p, part, rng)
-	return part
+	return part, nil
 }
 
 // bisect assigns part ids [base, base+parts) to the vertex set verts.

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"errors"
 	"math/rand"
 	"sort"
 	"testing"
@@ -12,6 +13,17 @@ import (
 func meshGraph(m *grid.Mesh) *Graph {
 	ptr, adj := m.NodeGraph()
 	return &Graph{Ptr: ptr, Adj: adj}
+}
+
+// mustGeneral partitions or fails the test — for the many call sites that
+// exercise legal inputs and only care about the resulting partition.
+func mustGeneral(t *testing.T, g *Graph, p int, seed int64) []int {
+	t.Helper()
+	part, err := General(g, p, seed)
+	if err != nil {
+		t.Fatalf("General(p=%d, seed=%d): %v", p, seed, err)
+	}
+	return part
 }
 
 func checkPartition(t *testing.T, g *Graph, part []int, p int, maxImbalance float64) {
@@ -38,7 +50,7 @@ func checkPartition(t *testing.T, g *Graph, part []int, p int, maxImbalance floa
 func TestGeneralPartitionSquare(t *testing.T) {
 	g := meshGraph(grid.UnitSquareTri(33))
 	for _, p := range []int{2, 3, 4, 7, 8, 16} {
-		part := General(g, p, 42)
+		part := mustGeneral(t, g, p, 42)
 		checkPartition(t, g, part, p, 1.30)
 	}
 }
@@ -46,27 +58,27 @@ func TestGeneralPartitionSquare(t *testing.T) {
 func TestGeneralPartitionCube(t *testing.T) {
 	g := meshGraph(grid.UnitCubeTet(9))
 	for _, p := range []int{2, 4, 8} {
-		part := General(g, p, 1)
+		part := mustGeneral(t, g, p, 1)
 		checkPartition(t, g, part, p, 1.35)
 	}
 }
 
 func TestGeneralPartitionUnstructured(t *testing.T) {
 	g := meshGraph(grid.PlateWithHole(28))
-	part := General(g, 8, 7)
+	part := mustGeneral(t, g, 8, 7)
 	checkPartition(t, g, part, 8, 1.35)
 }
 
 func TestGeneralPartitionDeterministicPerSeed(t *testing.T) {
 	g := meshGraph(grid.UnitSquareTri(17))
-	a := General(g, 8, 5)
-	b := General(g, 8, 5)
+	a := mustGeneral(t, g, 8, 5)
+	b := mustGeneral(t, g, 8, 5)
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatal("same seed produced different partitions")
 		}
 	}
-	c := General(g, 8, 6)
+	c := mustGeneral(t, g, 8, 6)
 	same := true
 	for i := range a {
 		if a[i] != c[i] {
@@ -85,7 +97,7 @@ func TestGeneralPartitionCutReasonable(t *testing.T) {
 	// must stay within a small factor of that.
 	m := 33
 	g := meshGraph(grid.UnitSquareTri(m))
-	part := General(g, 4, 3)
+	part := mustGeneral(t, g, 4, 3)
 	cut := EdgeCut(g, part)
 	if cut > 8*m {
 		t.Fatalf("edge cut %d too large for %d×%d grid in 4 parts", cut, m, m)
@@ -97,7 +109,7 @@ func TestGeneralPartitionCutReasonable(t *testing.T) {
 
 func TestGeneralP1(t *testing.T) {
 	g := meshGraph(grid.UnitSquareTri(5))
-	part := General(g, 1, 0)
+	part := mustGeneral(t, g, 1, 0)
 	for _, q := range part {
 		if q != 0 {
 			t.Fatal("p=1 must assign everything to part 0")
@@ -105,17 +117,40 @@ func TestGeneralP1(t *testing.T) {
 	}
 }
 
-func TestGeneralPanicsOnBadP(t *testing.T) {
+func TestGeneralRejectsBadP(t *testing.T) {
 	g := meshGraph(grid.UnitSquareTri(3))
 	for _, p := range []int{0, -1} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("p=%d accepted", p)
-				}
-			}()
-			General(g, p, 0)
-		}()
+		part, err := General(g, p, 0)
+		if err == nil {
+			t.Errorf("p=%d accepted", p)
+			continue
+		}
+		if part != nil {
+			t.Errorf("p=%d returned a partition alongside the error", p)
+		}
+		var pe *PartitionError
+		if !errors.As(err, &pe) {
+			t.Errorf("p=%d error is %T, want *PartitionError", p, err)
+			continue
+		}
+		if pe.P != p || pe.N != g.NumVertices() {
+			t.Errorf("p=%d error carries P=%d N=%d, want P=%d N=%d",
+				p, pe.P, pe.N, p, g.NumVertices())
+		}
+	}
+}
+
+func TestGeneralRejectsMalformedGraph(t *testing.T) {
+	// Ptr[n] must equal len(Adj); a truncated adjacency must be caught
+	// before the partitioner walks off the end of it.
+	g := &Graph{Ptr: []int{0, 1, 3, 5, 6}, Adj: []int{1, 0, 2}}
+	if _, err := General(g, 2, 0); err == nil {
+		t.Fatal("malformed adjacency accepted")
+	} else {
+		var pe *PartitionError
+		if !errors.As(err, &pe) {
+			t.Fatalf("error is %T, want *PartitionError", err)
+		}
 	}
 }
 
@@ -125,7 +160,7 @@ func TestGeneralPExceedsVertices(t *testing.T) {
 	g := meshGraph(grid.UnitSquareTri(3))
 	n := g.NumVertices()
 	p := n + 5
-	part := General(g, p, 0)
+	part := mustGeneral(t, g, p, 0)
 	if len(part) != n {
 		t.Fatalf("partition length %d, want %d", len(part), n)
 	}
@@ -212,7 +247,7 @@ func TestRefineImprovesRandomSplit(t *testing.T) {
 	// cut versus a fully random assignment baseline.
 	m := grid.UnitSquareTri(21)
 	g := meshGraph(m)
-	part := General(g, 2, 11)
+	part := mustGeneral(t, g, 2, 11)
 	cut := EdgeCut(g, part)
 	// Random assignment cuts ~half of all edges.
 	random := make([]int, g.NumVertices())
@@ -231,7 +266,7 @@ func TestGeneralPartitionElasticityDofMapping(t *testing.T) {
 	m := grid.QuarterRing(9, 9)
 	ptr, adj := m.NodeGraph()
 	g := &Graph{Ptr: ptr, Adj: adj}
-	nodePart := General(g, 4, 3)
+	nodePart := mustGeneral(t, g, 4, 3)
 	for n := 0; n < m.NumNodes(); n++ {
 		_ = n
 	}
@@ -297,7 +332,10 @@ func TestGeneralPartitionPropertyRandomGraphs(t *testing.T) {
 		if p > n {
 			p = n
 		}
-		part := General(g, p, seed)
+		part, err := General(g, p, seed)
+		if err != nil {
+			return false
+		}
 		sizes := Sizes(part, p)
 		for _, s := range sizes {
 			if s == 0 {
@@ -313,5 +351,67 @@ func TestGeneralPartitionPropertyRandomGraphs(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestGeneralDisconnectedWithIsolatedVertices(t *testing.T) {
+	// A graph with several components and isolated vertices (no neighbors
+	// at all): region growing cannot reach the isolated vertices from any
+	// frontier, and odd part counts force uneven recursive splits. The
+	// partitioner must still assign every vertex a valid part and keep all
+	// parts nonempty.
+	//
+	// Layout: two 8-vertex paths, one 4-cycle, and 5 isolated vertices.
+	var ptr []int
+	var adj []int
+	ptr = append(ptr, 0)
+	addPath := func(start, n int) {
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				adj = append(adj, start+i-1)
+			}
+			if i < n-1 {
+				adj = append(adj, start+i+1)
+			}
+			ptr = append(ptr, len(adj))
+		}
+	}
+	addPath(0, 8)
+	addPath(8, 8)
+	// 4-cycle on vertices 16..19.
+	for i := 0; i < 4; i++ {
+		adj = append(adj, 16+(i+3)%4, 16+(i+1)%4)
+		ptr = append(ptr, len(adj))
+	}
+	// Isolated vertices 20..24.
+	for i := 0; i < 5; i++ {
+		ptr = append(ptr, len(adj))
+	}
+	g := &Graph{Ptr: ptr, Adj: adj}
+	n := g.NumVertices()
+	if n != 25 {
+		t.Fatalf("test graph has %d vertices, want 25", n)
+	}
+	for _, p := range []int{2, 3, 5, 7} {
+		for _, seed := range []int64{0, 1, 9} {
+			part, err := General(g, p, seed)
+			if err != nil {
+				t.Fatalf("p=%d seed=%d: %v", p, seed, err)
+			}
+			if len(part) != n {
+				t.Fatalf("p=%d: partition length %d, want %d", p, len(part), n)
+			}
+			sizes := Sizes(part, p)
+			for q, s := range sizes {
+				if s == 0 {
+					t.Fatalf("p=%d seed=%d: part %d empty (sizes %v)", p, seed, q, sizes)
+				}
+			}
+			for v, q := range part {
+				if q < 0 || q >= p {
+					t.Fatalf("p=%d: vertex %d assigned invalid part %d", p, v, q)
+				}
+			}
+		}
 	}
 }

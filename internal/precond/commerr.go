@@ -1,0 +1,24 @@
+package precond
+
+import "math"
+
+// CommErrRecorder is implemented by preconditioners whose Apply runs
+// distributed interface exchanges that can fail (the Schur-type inner
+// solves). Apply cannot return an error — the krylov.Prec contract is a
+// plain callback — so on an exchange failure the preconditioner poisons
+// its output with NaN (breaking the outer recurrence down identically on
+// every rank within one iteration) and records the first typed error
+// here for the solve driver to join into the rank's result.
+type CommErrRecorder interface {
+	// TakeCommErr returns the first communication error recorded since
+	// the last call and clears it.
+	TakeCommErr() error
+}
+
+// poisonNaN floods v with NaN so the next replicated norm detects the
+// failure as a breakdown on every rank simultaneously.
+func poisonNaN(v []float64) {
+	for i := range v {
+		v[i] = math.NaN()
+	}
+}

@@ -1,0 +1,14 @@
+package precond
+
+import (
+	"parapre/internal/dsys"
+	"parapre/internal/mslr"
+)
+
+// NewMSLR builds the multilevel low-rank Schur preconditioner (the
+// GeMSLR-style recursive extension of Schur 1) for this rank's
+// subdomain. The returned preconditioner is collective and implements
+// CommErrRecorder; see package mslr for the construction.
+func NewMSLR(s *dsys.System, opts mslr.Options) (Preconditioner, error) {
+	return mslr.New(s, opts)
+}

@@ -52,7 +52,11 @@ const (
 	KindBlockIC Kind = "Block IC"
 	KindSchur1  Kind = "Schur 1"
 	KindSchur2  Kind = "Schur 2"
-	KindNone    Kind = "None"
+	// KindMSLR is the multilevel low-rank Schur preconditioner: Schur 1's
+	// interface solve on top of a recursive vertex-separator hierarchy
+	// with low-rank Schur corrections (package mslr).
+	KindMSLR Kind = "MSLR"
+	KindNone Kind = "None"
 )
 
 // identity is the trivial preconditioner (used by baselines).

@@ -35,7 +35,10 @@ func buildPoisson(t testing.TB, m, p int, seed int64) ([]*dsys.System, *sparse.C
 	}
 	fem.ApplyDirichlet(a, b, bc)
 	ptr, adj := g.NodeGraph()
-	part := partition.General(&partition.Graph{Ptr: ptr, Adj: adj}, p, seed)
+	part, err := partition.General(&partition.Graph{Ptr: ptr, Adj: adj}, p, seed)
+	if err != nil {
+		panic(err)
+	}
 	return dsys.Distribute(a, b, part, p), a, b
 }
 

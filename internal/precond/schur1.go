@@ -64,6 +64,10 @@ type Schur1 struct {
 	// shapes stable; Apply is per-rank sequential, so neither is ever
 	// shared by concurrent solves.
 	wsB, wsS *krylov.Workspace
+
+	// commErr records the first interface-exchange failure observed
+	// inside Apply's inner Schur solve (see CommErrRecorder).
+	commErr error
 }
 
 // NewSchur1 builds the Schur 1 preconditioner for this rank's subdomain.
@@ -150,7 +154,14 @@ func (p *Schur1) Apply(c *dist.Comm, z, r []float64) {
 		p.y[i] = 0
 	}
 	krylov.GMRES(s.NIface(),
-		func(out, x []float64) { p.op.MatVec(c, out, x) },
+		func(out, x []float64) {
+			if err := p.op.MatVec(c, out, x); err != nil {
+				if p.commErr == nil {
+					p.commErr = err
+				}
+				poisonNaN(out)
+			}
+		},
 		func(out, x []float64) {
 			p.sFact.Solve(out, x)
 			c.Compute(p.sFact.SolveFlops())
@@ -178,6 +189,14 @@ func (p *Schur1) Apply(c *dist.Comm, z, r []float64) {
 
 // Name returns the paper's notation for this preconditioner.
 func (p *Schur1) Name() string { return string(KindSchur1) }
+
+// TakeCommErr returns and clears the first interface-exchange failure
+// recorded during Apply (CommErrRecorder).
+func (p *Schur1) TakeCommErr() error {
+	err := p.commErr
+	p.commErr = nil
+	return err
+}
 
 // SetupFlops estimates the construction cost of this preconditioner for
 // virtual-time accounting: one ILUT factorization of the owned block,

@@ -57,6 +57,10 @@ type Schur2 struct {
 	// scratch
 	work, y, gp, uG, fTmp []float64
 	ws                    *krylov.Workspace // pooled Schur-GMRES workspace
+
+	// commErr records the first interface-exchange failure observed
+	// inside Apply's inner Schur solve (see CommErrRecorder).
+	commErr error
 }
 
 // NewSchur2 builds the Schur 2 preconditioner for this rank's subdomain.
@@ -237,7 +241,14 @@ func (p *Schur2) Apply(c *dist.Comm, z, r []float64) {
 		p.y[i] = 0
 	}
 	krylov.GMRES(p.nExp,
-		func(out, x []float64) { p.op.MatVec(c, out, x) },
+		func(out, x []float64) {
+			if err := p.op.MatVec(c, out, x); err != nil {
+				if p.commErr == nil {
+					p.commErr = err
+				}
+				poisonNaN(out)
+			}
+		},
 		func(out, x []float64) {
 			p.sFact.Solve(out, x)
 			c.Compute(p.sFact.SolveFlops())
@@ -273,6 +284,14 @@ func (p *Schur2) Apply(c *dist.Comm, z, r []float64) {
 
 // Name returns the paper's notation for this preconditioner.
 func (p *Schur2) Name() string { return string(KindSchur2) }
+
+// TakeCommErr returns and clears the first interface-exchange failure
+// recorded during Apply (CommErrRecorder).
+func (p *Schur2) TakeCommErr() error {
+	err := p.commErr
+	p.commErr = nil
+	return err
+}
 
 // ExpandedSize reports (grouped, expanded-interface) sizes for
 // diagnostics: the paper's Fig. 2 distinction between interior, local

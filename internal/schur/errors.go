@@ -1,0 +1,27 @@
+package schur
+
+import "fmt"
+
+// ExchangeError describes a failed or corrupted interface exchange: a
+// receive that returned a typed communicator error, a neighbor block of
+// the wrong length, or a non-finite payload (injected corruption or a
+// poisoned upstream vector). It wraps the underlying receive error, if
+// any, for errors.As/Is inspection, so a peer crash mid-Schur-apply
+// surfaces as a rank-attributed error instead of a panic.
+type ExchangeError struct {
+	Rank   int
+	Peer   int // -1 when the error is not tied to one neighbor
+	Reason string
+	Err    error // underlying dist receive error (may be nil)
+}
+
+func (e *ExchangeError) Error() string {
+	msg := fmt.Sprintf("schur: rank %d interface exchange with rank %d: %s", e.Rank, e.Peer, e.Reason)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying receive error.
+func (e *ExchangeError) Unwrap() error { return e.Err }

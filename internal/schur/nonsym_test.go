@@ -78,7 +78,10 @@ func TestImplicitOperatorNonsymmetricPattern(t *testing.T) {
 			}
 			xl := x[off : off+ops[r].N()]
 			yl := make([]float64, ops[r].N())
-			ops[r].MatVec(c, yl, xl)
+			if err := ops[r].MatVec(c, yl, xl); err != nil {
+				t.Errorf("rank %d MatVec: %v", r, err)
+				return
+			}
 			copy(y[off:], yl)
 		})
 		for i := 0; i < nI; i++ {

@@ -12,6 +12,8 @@ package schur
 
 import (
 	"fmt"
+	"math"
+	"sync/atomic"
 
 	"parapre/internal/dist"
 	"parapre/internal/dsys"
@@ -34,9 +36,17 @@ type Iface struct {
 	// unknowns, in external-buffer order.
 	eExt *sparse.CSR
 
-	// sendMap translates dsys send indices (local subdomain numbering) to
-	// interface-vector indices.
-	sendMap map[int]int
+	// sendIdx holds, per neighbor (parallel to sys.Neigh), the
+	// interface-vector indices to pack in send order — the dsys send
+	// indices (local subdomain numbering) pre-translated at construction.
+	sendIdx [][]int
+
+	// sendBufs pools one staging buffer per neighbor, leased atomically
+	// per exchange: distinct in-flight sends never share a slice, and the
+	// single-solve steady state allocates nothing beyond the transport's
+	// own payload copies. A concurrent solve that finds the slot empty
+	// allocates its own lease (the loser of the final Store is collected).
+	sendBufs atomic.Pointer[[][]float64]
 
 	ext []float64 // scratch, length NExt
 	tag int
@@ -49,6 +59,15 @@ const tagSchur = 200
 // solve with the internal block (one ILUT backward/forward per
 // application).
 func NewImplicit(s *dsys.System, bSolve *ilu.LU) (*Iface, error) {
+	return NewImplicitOp(s, bSolve.Solve, 2*float64(bSolve.NNZ()))
+}
+
+// NewImplicitOp is the general form of NewImplicit: the interior solve
+// bSolve (y ← B̃_i⁻¹·x over the NInt internal unknowns) is an arbitrary
+// callback charged bFlops per application — a recursive multilevel
+// hierarchy, an exact factorization, anything that solves with the B
+// block. NewImplicit is the special case of a single ILUT factor.
+func NewImplicitOp(s *dsys.System, bSolve func(y, x []float64), bFlops float64) (*Iface, error) {
 	c := s.BlockC()
 	e := s.BlockE()
 	f := s.BlockF()
@@ -63,11 +82,11 @@ func NewImplicit(s *dsys.System, bSolve *ilu.LU) (*Iface, error) {
 			c.MulVecTo(y, x)
 			if s.NInt > 0 {
 				f.MulVecTo(tmpF, x)
-				bSolve.Solve(tmpB, tmpF)
+				bSolve(tmpB, tmpF)
 				e.MulVecSub(y, tmpB)
 			}
 		},
-		localFlops: 2 * float64(c.NNZ()+e.NNZ()+f.NNZ()+bSolve.NNZ()),
+		localFlops: 2*float64(c.NNZ()+e.NNZ()+f.NNZ()) + bFlops,
 		tag:        tagSchur,
 	}
 	if err := op.buildSendMap(func(l int) (int, bool) {
@@ -109,16 +128,18 @@ func NewExplicit(s *dsys.System, sLoc, eExt *sparse.CSR, toIface func(local int)
 }
 
 func (o *Iface) buildSendMap(toIface func(int) (int, bool)) error {
-	o.sendMap = make(map[int]int)
-	for _, nb := range o.sys.Neigh {
+	o.sendIdx = make([][]int, len(o.sys.Neigh))
+	for ni, nb := range o.sys.Neigh {
+		idx := make([]int, 0, len(nb.SendIdx))
 		for _, l := range nb.SendIdx {
 			ii, ok := toIface(l)
 			if !ok {
 				return fmt.Errorf("schur: rank %d: neighbor %d requests local %d, which is not an interface unknown (structurally unsymmetric partition?)",
 					o.sys.Rank, nb.Rank, l)
 			}
-			o.sendMap[l] = ii
+			idx = append(idx, ii)
 		}
+		o.sendIdx[ni] = idx
 	}
 	o.ext = make([]float64, o.sys.NExt())
 	return nil
@@ -127,37 +148,98 @@ func (o *Iface) buildSendMap(toIface func(int) (int, bool)) error {
 // N returns the length of this rank's interface vector.
 func (o *Iface) N() int { return o.n }
 
+// leaseSendBufs takes the pooled per-neighbor staging buffers, allocating
+// a fresh set (exact per-neighbor capacity) when the pool slot is empty.
+func (o *Iface) leaseSendBufs() *[][]float64 {
+	lease := o.sendBufs.Swap(nil)
+	if lease == nil {
+		bufs := make([][]float64, len(o.sys.Neigh))
+		for ni := range bufs {
+			bufs[ni] = make([]float64, 0, len(o.sendIdx[ni]))
+		}
+		lease = &bufs
+	}
+	return lease
+}
+
 // Exchange refreshes the external interface values for the interface
-// vector x.
-func (o *Iface) Exchange(c *dist.Comm, x []float64) {
+// vector x. All sends are posted before the first receive, each packed
+// into its own pooled per-neighbor buffer so no slice is shared between
+// in-flight sends, and every neighbor receive is drained and validated
+// (typed receive errors, block length, payload finiteness) even after a
+// failure — returning early would strand the remaining in-flight blocks
+// and the next exchange would mispair against the stale messages. The
+// first failure wins and surfaces as a typed *ExchangeError; a peer crash
+// no longer panics the rank.
+//
+// Steady-state allocation is bounded by the transport's own payload
+// copies (dist.Comm.Send copies every message); the packing itself is
+// allocation-free, verified by TestExchangeSteadyStateAllocs.
+func (o *Iface) Exchange(c *dist.Comm, x []float64) error {
 	s := o.sys
-	buf := make([]float64, 0, 64)
-	for _, nb := range s.Neigh {
+	lease := o.leaseSendBufs()
+	bufs := *lease
+	defer o.sendBufs.Store(lease)
+	for ni, nb := range s.Neigh {
 		if len(nb.SendIdx) == 0 {
 			continue
 		}
-		buf = buf[:0]
-		for _, l := range nb.SendIdx {
-			buf = append(buf, x[o.sendMap[l]])
+		buf := bufs[ni][:0]
+		for _, ii := range o.sendIdx[ni] {
+			buf = append(buf, x[ii])
 		}
+		bufs[ni] = buf
 		c.Send(nb.Rank, o.tag, buf)
+	}
+	var first *ExchangeError
+	fail := func(e *ExchangeError) {
+		if first == nil {
+			first = e
+		}
 	}
 	for _, nb := range s.Neigh {
 		if nb.RecvLen == 0 {
 			continue
 		}
-		got := c.Recv(nb.Rank, o.tag)
-		copy(o.ext[nb.RecvOff:nb.RecvOff+nb.RecvLen], got)
+		got, err := c.RecvErr(nb.Rank, o.tag)
+		if err != nil {
+			fail(&ExchangeError{Rank: s.Rank, Peer: nb.Rank, Reason: "receive failed", Err: err})
+			continue
+		}
+		if len(got) != nb.RecvLen {
+			fail(&ExchangeError{Rank: s.Rank, Peer: nb.Rank,
+				Reason: fmt.Sprintf("neighbor block length %d, want %d", len(got), nb.RecvLen)})
+			continue
+		}
+		ok := true
+		for _, v := range got {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				fail(&ExchangeError{Rank: s.Rank, Peer: nb.Rank, Reason: "non-finite payload"})
+				ok = false
+				break
+			}
+		}
+		if ok {
+			copy(o.ext[nb.RecvOff:nb.RecvOff+nb.RecvLen], got)
+		}
 	}
+	if first != nil {
+		return first
+	}
+	return nil
 }
 
 // MatVec computes y = S·x (this rank's rows of the global interface
-// product), including the neighbor couplings.
-func (o *Iface) MatVec(c *dist.Comm, y, x []float64) {
-	o.Exchange(c, x)
+// product), including the neighbor couplings. On an exchange failure y is
+// left untouched and the typed error is returned.
+func (o *Iface) MatVec(c *dist.Comm, y, x []float64) error {
+	if err := o.Exchange(c, x); err != nil {
+		return err
+	}
 	o.applyLocal(y, x)
 	o.eExt.MulVecAdd(y, 1, o.ext)
 	c.Compute(o.localFlops + 2*float64(o.eExt.NNZ()))
+	return nil
 }
 
 // Dot is the global inner product over the distributed interface vectors.

@@ -31,7 +31,10 @@ func buildSystems(t *testing.T, m, p int, seed int64) ([]*dsys.System, *sparse.C
 	}
 	fem.ApplyDirichlet(a, b, bc)
 	ptr, adj := g.NodeGraph()
-	part := partition.General(&partition.Graph{Ptr: ptr, Adj: adj}, p, seed)
+	part, err := partition.General(&partition.Graph{Ptr: ptr, Adj: adj}, p, seed)
+	if err != nil {
+		panic(err)
+	}
 	return dsys.Distribute(a, b, part, p), a, part
 }
 
@@ -114,7 +117,10 @@ func TestImplicitMatVecMatchesDenseGlobalSchur(t *testing.T) {
 			return
 		}
 		out := make([]float64, op.N())
-		op.MatVec(c, out, pieces[c.Rank()])
+		if err := op.MatVec(c, out, pieces[c.Rank()]); err != nil {
+			t.Errorf("rank %d MatVec: %v", c.Rank(), err)
+			return
+		}
 		got[c.Rank()] = out
 	})
 	for r := 0; r < p; r++ {
@@ -151,7 +157,10 @@ func TestExplicitMatchesImplicitWithExactB(t *testing.T) {
 			return
 		}
 		out := make([]float64, opI.N())
-		opI.MatVec(c, out, pieces[c.Rank()])
+		if err := opI.MatVec(c, out, pieces[c.Rank()]); err != nil {
+			t.Errorf("rank %d MatVec: %v", c.Rank(), err)
+			return
+		}
 		implicit[c.Rank()] = out
 	})
 
@@ -197,7 +206,10 @@ func TestExplicitMatchesImplicitWithExactB(t *testing.T) {
 			return
 		}
 		out := make([]float64, op.N())
-		op.MatVec(c, out, pieces[c.Rank()])
+		if err := op.MatVec(c, out, pieces[c.Rank()]); err != nil {
+			t.Errorf("rank %d MatVec: %v", c.Rank(), err)
+			return
+		}
 		explicit[c.Rank()] = out
 	})
 

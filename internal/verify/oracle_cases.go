@@ -102,7 +102,12 @@ func checkPaperCases(cfg Config) []Violation {
 			ps = append(ps, 4)
 		}
 		for _, p := range ps {
-			part := partition.General(core.PatternGraph(a), p, cfg.Seed)
+			part, err := partition.General(core.PatternGraph(a), p, cfg.Seed)
+			if err != nil {
+				out = append(out, Violation{"paper-cases",
+					fmt.Sprintf("partition failed: %v", err), tag(fmt.Sprintf("P=%d", p))})
+				continue
+			}
 			vs := distVsSeqOne(distSolveCases()[2], a, part, n, p, cfg.Seed, "case-"+tc.Name)
 			for i := range vs {
 				vs[i].Check = "paper-cases"

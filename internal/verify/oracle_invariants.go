@@ -2,6 +2,7 @@ package verify
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -157,10 +158,7 @@ func checkPartitionValid(cfg Config) []Violation {
 			seed := cfg.Seed + 300*int64(n) + trial
 			for _, disconnect := range []bool{false, true} {
 				g := randomGraph(n, disconnect, seed)
-				for _, p := range []int{1, 2, 3, n - 1, n, n + 3} {
-					if p < 1 {
-						continue
-					}
+				for _, p := range []int{0, 1, 2, 3, n - 1, n, n + 3} {
 					part := func() (part []int) {
 						defer func() {
 							if r := recover(); r != nil {
@@ -170,7 +168,23 @@ func checkPartitionValid(cfg Config) []Violation {
 								part = nil
 							}
 						}()
-						return partition.General(g, p, seed)
+						part, err := partition.General(g, p, seed)
+						var pe *partition.PartitionError
+						switch {
+						case p < 1 && !errors.As(err, &pe):
+							out = append(out, Violation{"partition-valid",
+								fmt.Sprintf("General(p=%d) must return a typed *PartitionError, got %v", p, err),
+								repro(n, seed, fmt.Sprintf("p=%d", p))})
+							return nil
+						case p >= 1 && err != nil:
+							out = append(out, Violation{"partition-valid",
+								fmt.Sprintf("General(p=%d, disconnected=%v) failed: %v", p, disconnect, err),
+								repro(n, seed, fmt.Sprintf("p=%d", p))})
+							return nil
+						case p < 1:
+							return nil
+						}
+						return part
 					}()
 					if part == nil {
 						continue
@@ -364,7 +378,12 @@ func checkDistributeReassembly(cfg Config) []Violation {
 					}
 					b := randomRHS(n, seed)
 					g := core.PatternGraph(a)
-					part := partition.General(g, p, seed)
+					part, err := partition.General(g, p, seed)
+					if err != nil {
+						out = append(out, Violation{"distribute-reassembly",
+							fmt.Sprintf("partition failed: %v", err), repro(n, seed, fmt.Sprintf("P=%d", p))})
+						continue
+					}
 					systems := dsys.Distribute(a, b, part, p)
 					out = append(out, reassembleAndCompare(a, b, part, systems, n, seed, p)...)
 				}

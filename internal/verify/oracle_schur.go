@@ -208,13 +208,20 @@ func schurOperatorOne(gname string, a *sparse.CSR, n, p int, seed int64) []Viola
 		}
 		x[col] = 1
 		y := make([]float64, nI)
+		mvErrs := make([]error, p)
 		dist.Run(p, dist.LinuxCluster(), func(c *dist.Comm) {
 			r := c.Rank()
 			xl := x[offs[r]:offs[r+1]]
 			yl := make([]float64, offs[r+1]-offs[r])
-			ops[r].MatVec(c, yl, xl)
+			mvErrs[r] = ops[r].MatVec(c, yl, xl)
 			copy(y[offs[r]:offs[r+1]], yl)
 		})
+		for r, err := range mvErrs {
+			if err != nil {
+				out = append(out, Violation{"schur-operator",
+					fmt.Sprintf("rank %d MatVec: %v", r, err), tag(fmt.Sprintf("col=%d", col))})
+			}
+		}
 		for i := 0; i < nI; i++ {
 			if d := absf(y[i] - sd.At(i, col)); d > 1e-8*(1+scale) {
 				out = append(out, Violation{"schur-operator",
